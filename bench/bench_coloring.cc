@@ -1,0 +1,88 @@
+// EXP-L3 — Lemma 3 and the §4 derandomization guarantee.
+//
+// Lemma 3: for the random 4-wise coloring with c = sqrt(E/M) colors,
+// E[X_xi] <= E*M. §4: the greedy deterministic coloring achieves
+// X_xi < e*E*M outright. `x_over_EM` reports X_xi/(E*M): Lemma 3 predicts
+// ~<= 1 on average for random colorings, and < e = 2.718 always for the
+// derandomized one.
+#include "bench_util.h"
+#include "core/coloring.h"
+#include "core/derandomize.h"
+#include "hashing/kwise.h"
+
+namespace trienum::bench {
+namespace {
+
+constexpr std::size_t kM = 1 << 9;
+
+std::vector<graph::Edge> Workload(int which, std::size_t e) {
+  switch (which) {
+    case 0: return graph::Gnm(static_cast<graph::VertexId>(e / 4), e, 1005);
+    case 1: return graph::Rmat(14, e, 0.45, 0.2, 0.2, 1006);
+    default: return graph::CliqueUnion(32, 40);  // many medium hubs
+  }
+}
+
+void BM_RandomColoringX(benchmark::State& state) {
+  const int which = static_cast<int>(state.range(0));
+  const std::size_t e = 1 << 14;
+  em::EmConfig cfg;
+  cfg.memory_words = 1 << 14;  // analysis context; coloring stats only
+  em::Context ctx(cfg);
+  graph::EmGraph g = graph::BuildEmGraph(ctx, Workload(which, e));
+  std::uint32_t c = 1;
+  while (static_cast<std::uint64_t>(c) * c * kM < g.num_edges()) c <<= 1;
+
+  double x_avg = 0, x_max = 0;
+  const int kTrials = 8;
+  for (auto _ : state) {
+    for (int t = 0; t < kTrials; ++t) {
+      hashing::FourWiseHash h(2000 + t);
+      std::uint32_t cc = c;
+      core::ColoringStats s = core::ComputeColoringStats(
+          ctx, g.edges,
+          [h, cc](graph::VertexId v) { return h.Color(v, cc); }, c);
+      x_avg += s.x_total / kTrials;
+      x_max = std::max(x_max, s.x_total);
+    }
+  }
+  double em_bound = core::Lemma3Bound(g.num_edges(), kM);
+  state.counters["E"] = static_cast<double>(g.num_edges());
+  state.counters["colors"] = static_cast<double>(c);
+  state.counters["x_avg"] = x_avg;
+  state.counters["x_over_EM"] = x_avg / em_bound;
+  state.counters["x_max_over_EM"] = x_max / em_bound;
+}
+
+BENCHMARK(BM_RandomColoringX)->Arg(0)->Arg(1)->Arg(2)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DerandomizedColoringX(benchmark::State& state) {
+  const int which = static_cast<int>(state.range(0));
+  const std::size_t e = 1 << 14;
+  em::EmConfig cfg;
+  cfg.memory_words = 1 << 14;
+  em::Context ctx(cfg);
+  graph::EmGraph g = graph::BuildEmGraph(ctx, Workload(which, e));
+  std::uint32_t c = 1;
+  while (static_cast<std::uint64_t>(c) * c * kM < g.num_edges()) c <<= 1;
+
+  core::DeterministicColoring det;
+  for (auto _ : state) {
+    det = core::BuildDeterministicColoring(ctx, g.edges, c);
+  }
+  double em_bound = core::Lemma3Bound(g.num_edges(), kM);
+  state.counters["E"] = static_cast<double>(g.num_edges());
+  state.counters["colors"] = static_cast<double>(c);
+  state.counters["x_xi"] = det.final_potential();
+  state.counters["x_over_EM"] = det.final_potential() / em_bound;
+  state.counters["e_bound"] = 2.718281828;  // the guarantee to stay under
+  state.counters["candidates_tried"] =
+      static_cast<double>(det.candidates_tried());
+}
+
+BENCHMARK(BM_DerandomizedColoringX)->Arg(0)->Arg(1)->Arg(2)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace trienum::bench

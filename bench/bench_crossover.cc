@@ -1,0 +1,85 @@
+// EXP-X — the improvement-factor table of the paper's abstract: the
+// Pagh-Silvestri algorithms improve on O(E^2/(MB)) (MGT) by
+// min(sqrt(E/M), sqrt(M)), and on block-nested-loop joins by far more.
+//
+// The sweep holds M fixed and grows E, so E/M grows; `mgt_over_ps` is the
+// measured improvement and `sqrt_E_over_M` the predicted one — the two
+// columns should track each other up to a constant.
+#include <cmath>
+
+#include "bench_util.h"
+
+namespace trienum::bench {
+namespace {
+
+constexpr std::size_t kM = 1 << 9;
+constexpr std::size_t kB = 16;
+
+void BM_Crossover(benchmark::State& state) {
+  const std::size_t e = static_cast<std::size_t>(state.range(0));
+  auto raw = graph::Gnm(static_cast<graph::VertexId>(e / 4), e, 1004);
+  RunOutcome ours, mgt;
+  for (auto _ : state) {
+    ours = MeasureAlgorithm("ps-cache-aware", raw, kM, kB);
+    mgt = MeasureAlgorithm("mgt", raw, kM, kB);
+  }
+  state.counters["E_over_M"] = static_cast<double>(e) / kM;
+  state.counters["ps_ios"] = static_cast<double>(ours.io.total_ios());
+  state.counters["mgt_ios"] = static_cast<double>(mgt.io.total_ios());
+  state.counters["mgt_over_ps"] = static_cast<double>(mgt.io.total_ios()) /
+                                  static_cast<double>(ours.io.total_ios());
+  state.counters["sqrt_E_over_M"] =
+      std::sqrt(static_cast<double>(e) / static_cast<double>(kM));
+}
+
+BENCHMARK(BM_Crossover)
+    ->RangeMultiplier(2)
+    ->Range(1 << 12, 1 << 17)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+// The oblivious algorithm against MGT: same separation, bigger constants.
+void BM_CrossoverOblivious(benchmark::State& state) {
+  const std::size_t e = static_cast<std::size_t>(state.range(0));
+  auto raw = graph::Gnm(static_cast<graph::VertexId>(e / 4), e, 1004);
+  RunOutcome ours, mgt;
+  for (auto _ : state) {
+    ours = MeasureAlgorithm("ps-cache-oblivious", raw, kM, kB);
+    mgt = MeasureAlgorithm("mgt", raw, kM, kB);
+  }
+  state.counters["E_over_M"] = static_cast<double>(e) / kM;
+  state.counters["mgt_over_ps"] = static_cast<double>(mgt.io.total_ios()) /
+                                  static_cast<double>(ours.io.total_ios());
+  state.counters["sqrt_E_over_M"] =
+      std::sqrt(static_cast<double>(e) / static_cast<double>(kM));
+}
+
+BENCHMARK(BM_CrossoverOblivious)
+    ->RangeMultiplier(4)
+    ->Range(1 << 12, 1 << 16)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+// BNL positioning (§1.1): the naive join baseline is a further E/M factor
+// behind MGT; kept to small instances.
+void BM_CrossoverBnl(benchmark::State& state) {
+  const std::size_t e = static_cast<std::size_t>(state.range(0));
+  auto raw = graph::Gnm(static_cast<graph::VertexId>(e / 4), e, 1004);
+  RunOutcome ours, bnl;
+  for (auto _ : state) {
+    ours = MeasureAlgorithm("ps-cache-aware", raw, kM, kB);
+    bnl = MeasureAlgorithm("bnl", raw, kM, kB);
+  }
+  state.counters["E_over_M"] = static_cast<double>(e) / kM;
+  state.counters["bnl_over_ps"] = static_cast<double>(bnl.io.total_ios()) /
+                                  static_cast<double>(ours.io.total_ios());
+}
+
+BENCHMARK(BM_CrossoverBnl)
+    ->RangeMultiplier(2)
+    ->Range(1 << 11, 1 << 13)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace trienum::bench

@@ -1,0 +1,57 @@
+// EXP-GC — robustness across graph classes at fixed E.
+//
+// The paper's bounds are input-agnostic (they depend only on E, M, B). This
+// table runs the main algorithms on structurally extreme inputs of the same
+// edge count: uniform random, heavy-tailed RMAT, complete tripartite (the
+// 5NF join shape), planted triangles, many medium hubs, and a near-clique
+// core. `io_over_bound` should stay within a bounded band across rows.
+#include "bench_util.h"
+#include "core/cache_aware.h"
+
+namespace trienum::bench {
+namespace {
+
+constexpr std::size_t kM = 1 << 10;
+constexpr std::size_t kB = 16;
+constexpr std::size_t kE = 1 << 14;
+
+std::vector<graph::Edge> ClassWorkload(int which) {
+  switch (which) {
+    case 0: return graph::Gnm(1 << 12, kE, 1007);                   // uniform
+    case 1: return graph::Rmat(14, kE, 0.5, 0.2, 0.2, 1008);        // skewed
+    case 2: return graph::CompleteTripartite(74, 74, 74);           // join
+    case 3: return graph::PlantedTriangles(1 << 12, kE - 3000, 1000, 1009);
+    case 4: return graph::CliqueUnion(26, 36);                      // hubs
+    default: return graph::CliquePlusPath(180, 256);                // core
+  }
+}
+
+const char* kClassNames[] = {"gnm",     "rmat",       "tripartite",
+                             "planted", "cliqueunion", "dense_core"};
+
+void BM_GraphClass(benchmark::State& state, const std::string& algo) {
+  const int which = static_cast<int>(state.range(0));
+  auto raw = ClassWorkload(which);
+  RunOutcome out;
+  for (auto _ : state) {
+    out = MeasureAlgorithm(algo, raw, kM, kB);
+  }
+  ReportIo(state, out, core::PaghSilvestriIoBound(out.num_edges, kM, kB));
+  state.SetLabel(kClassNames[which]);
+  state.counters["E"] = static_cast<double>(out.num_edges);
+}
+
+#define GRAPH_CLASS(algo_id, algo_name)                                 \
+  BENCHMARK_CAPTURE(BM_GraphClass, algo_id, algo_name)                  \
+      ->DenseRange(0, 5)                                                \
+      ->Iterations(1)                                                   \
+      ->Unit(benchmark::kMillisecond)
+
+GRAPH_CLASS(ps_cache_aware, "ps-cache-aware");
+GRAPH_CLASS(ps_cache_oblivious, "ps-cache-oblivious");
+GRAPH_CLASS(mgt, "mgt");
+
+#undef GRAPH_CLASS
+
+}  // namespace
+}  // namespace trienum::bench

@@ -1,0 +1,53 @@
+// EXP-LB — Theorem 3 optimality gaps.
+//
+// On cliques (t = Theta(E^{3/2}), the paper's witness family) every
+// algorithm's measured I/Os must exceed the lower bound
+// Omega(t/(sqrt(M)B) + t^{2/3}/B); `io_over_lb` reports the measured
+// optimality gap. The paper's algorithms should show a bounded gap as the
+// clique grows, MGT/BNL a growing one.
+#include "bench_util.h"
+#include "core/lower_bound.h"
+
+namespace trienum::bench {
+namespace {
+
+constexpr std::size_t kM = 1 << 9;
+constexpr std::size_t kB = 16;
+
+void BM_LowerBoundGap(benchmark::State& state, const std::string& algo) {
+  const std::uint64_t k = static_cast<std::uint64_t>(state.range(0));
+  auto raw = graph::Clique(static_cast<graph::VertexId>(k));
+  RunOutcome out;
+  for (auto _ : state) {
+    out = MeasureAlgorithm(algo, raw, kM, kB);
+  }
+  const std::uint64_t t = core::CliqueTriangles(k);
+  double lb = core::IoLowerBound(t, kM, kB);
+  state.counters["k"] = static_cast<double>(k);
+  state.counters["E"] = static_cast<double>(out.num_edges);
+  state.counters["t"] = static_cast<double>(t);
+  state.counters["ios"] = static_cast<double>(out.io.total_ios());
+  state.counters["lb"] = lb;
+  state.counters["lb_epoch"] = core::IoLowerBoundEpoch(t, kM, kB);
+  state.counters["io_over_lb"] = static_cast<double>(out.io.total_ios()) / lb;
+}
+
+#define LB_GAP(algo_id, algo_name)                                      \
+  BENCHMARK_CAPTURE(BM_LowerBoundGap, algo_id, algo_name)               \
+      ->Arg(32)                                                         \
+      ->Arg(48)                                                         \
+      ->Arg(64)                                                         \
+      ->Arg(96)                                                         \
+      ->Iterations(1)                                                   \
+      ->Unit(benchmark::kMillisecond)
+
+LB_GAP(ps_cache_aware, "ps-cache-aware");
+LB_GAP(ps_cache_oblivious, "ps-cache-oblivious");
+LB_GAP(ps_deterministic, "ps-deterministic");
+LB_GAP(mgt, "mgt");
+LB_GAP(dementiev, "dementiev");
+
+#undef LB_GAP
+
+}  // namespace
+}  // namespace trienum::bench

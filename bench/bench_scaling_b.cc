@@ -1,0 +1,45 @@
+// EXP-B — I/O scaling in the block size B at fixed (E, M).
+//
+// All the bounds in the paper carry a 1/B factor; with the tall-cache
+// assumption M >= B^2 respected, measured I/Os times B (`io_x_B`) should be
+// flat across the sweep for every algorithm.
+#include "bench_util.h"
+#include "core/cache_aware.h"
+#include "core/mgt.h"
+
+namespace trienum::bench {
+namespace {
+
+constexpr std::size_t kE = 1 << 14;
+constexpr std::size_t kM = 1 << 14;  // >= B^2 for B up to 128
+
+void BM_ScalingB(benchmark::State& state, const std::string& algo) {
+  const std::size_t b = static_cast<std::size_t>(state.range(0));
+  auto raw = graph::Gnm(1 << 12, kE, 1003);
+  RunOutcome out;
+  for (auto _ : state) {
+    out = MeasureAlgorithm(algo, raw, kM, b);
+  }
+  double bound = algo == "mgt" ? core::MgtIoBound(kE, kM, b)
+                               : core::PaghSilvestriIoBound(kE, kM, b);
+  ReportIo(state, out, bound);
+  state.counters["B"] = static_cast<double>(b);
+  state.counters["io_x_B"] =
+      static_cast<double>(out.io.total_ios()) * static_cast<double>(b);
+}
+
+#define SCALING_B(algo_id, algo_name)                                   \
+  BENCHMARK_CAPTURE(BM_ScalingB, algo_id, algo_name)                    \
+      ->RangeMultiplier(2)                                              \
+      ->Range(8, 128)                                                   \
+      ->Iterations(1)                                                   \
+      ->Unit(benchmark::kMillisecond)
+
+SCALING_B(ps_cache_aware, "ps-cache-aware");
+SCALING_B(ps_cache_oblivious, "ps-cache-oblivious");
+SCALING_B(mgt, "mgt");
+
+#undef SCALING_B
+
+}  // namespace
+}  // namespace trienum::bench

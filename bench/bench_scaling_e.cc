@@ -1,0 +1,58 @@
+// EXP-T1 / EXP-T2 / EXP-T4 — I/O scaling in E at fixed (M, B).
+//
+// Paper claims: the three Pagh-Silvestri algorithms cost
+// O(E^{3/2}/(sqrt(M)B)) I/Os (Theorems 1, 2, 4); MGT costs O(E^2/(MB));
+// Dementiev sort(E^{3/2}); the edge iterator O(E + E^{3/2}/B).
+// Each row reports measured I/Os and the measured/bound ratio against the
+// algorithm's own bound — a flat `io_over_bound` column across the E sweep
+// is the reproduction of the claimed exponent.
+#include "bench_util.h"
+#include "core/cache_aware.h"
+#include "core/dementiev.h"
+#include "core/edge_iterator.h"
+#include "core/mgt.h"
+
+namespace trienum::bench {
+namespace {
+
+constexpr std::size_t kM = 1 << 10;
+constexpr std::size_t kB = 16;
+
+double BoundFor(const std::string& algo, std::size_t e) {
+  if (algo == "mgt") return core::MgtIoBound(e, kM, kB);
+  if (algo == "dementiev") return core::DementievIoBound(e, kM, kB);
+  if (algo == "edge-iterator") return core::EdgeIteratorIoBound(e, kB);
+  return core::PaghSilvestriIoBound(e, kM, kB);
+}
+
+void BM_ScalingE(benchmark::State& state, const std::string& algo) {
+  const std::size_t e = static_cast<std::size_t>(state.range(0));
+  auto raw = graph::Gnm(static_cast<graph::VertexId>(e / 4), e, 1001);
+  RunOutcome out;
+  for (auto _ : state) {
+    out = MeasureAlgorithm(algo, raw, kM, kB);
+  }
+  ReportIo(state, out, BoundFor(algo, e));
+  state.counters["E"] = static_cast<double>(e);
+  state.counters["M"] = static_cast<double>(kM);
+}
+
+#define SCALING_E(algo_id, algo_name)                                   \
+  BENCHMARK_CAPTURE(BM_ScalingE, algo_id, algo_name)                    \
+      ->RangeMultiplier(2)                                              \
+      ->Range(1 << 12, 1 << 16)                                         \
+      ->Iterations(1)                                                   \
+      ->Unit(benchmark::kMillisecond)
+
+SCALING_E(ps_cache_aware, "ps-cache-aware");
+SCALING_E(ps_cache_oblivious, "ps-cache-oblivious");
+SCALING_E(ps_deterministic, "ps-deterministic");
+SCALING_E(mgt, "mgt");
+SCALING_E(chu_cheng, "chu-cheng");
+SCALING_E(dementiev, "dementiev");
+SCALING_E(edge_iterator, "edge-iterator");
+
+#undef SCALING_E
+
+}  // namespace
+}  // namespace trienum::bench

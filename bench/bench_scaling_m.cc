@@ -1,0 +1,51 @@
+// EXP-M — I/O scaling in M at fixed (E, B).
+//
+// Paper claim: the Pagh-Silvestri algorithms scale as 1/sqrt(M) while MGT
+// scales as 1/M; the improvement factor over MGT is min(sqrt(E/M), sqrt(M)).
+// The `io_x_sqrtM` column (measured I/Os * sqrt(M)) should be flat for the
+// paper's algorithms; `io_x_M` should be flat for MGT.
+#include <cmath>
+
+#include "bench_util.h"
+#include "core/cache_aware.h"
+#include "core/mgt.h"
+
+namespace trienum::bench {
+namespace {
+
+constexpr std::size_t kE = 1 << 15;
+constexpr std::size_t kB = 16;
+
+void BM_ScalingM(benchmark::State& state, const std::string& algo) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  auto raw = graph::Gnm(1 << 13, kE, 1002);
+  RunOutcome out;
+  for (auto _ : state) {
+    out = MeasureAlgorithm(algo, raw, m, kB);
+  }
+  double bound = algo == "mgt" ? core::MgtIoBound(kE, m, kB)
+                               : core::PaghSilvestriIoBound(kE, m, kB);
+  ReportIo(state, out, bound);
+  state.counters["M"] = static_cast<double>(m);
+  state.counters["io_x_sqrtM"] =
+      static_cast<double>(out.io.total_ios()) * std::sqrt(static_cast<double>(m));
+  state.counters["io_x_M"] =
+      static_cast<double>(out.io.total_ios()) * static_cast<double>(m);
+}
+
+#define SCALING_M(algo_id, algo_name)                                   \
+  BENCHMARK_CAPTURE(BM_ScalingM, algo_id, algo_name)                    \
+      ->RangeMultiplier(4)                                              \
+      ->Range(1 << 8, 1 << 14)                                          \
+      ->Iterations(1)                                                   \
+      ->Unit(benchmark::kMillisecond)
+
+SCALING_M(ps_cache_aware, "ps-cache-aware");
+SCALING_M(ps_cache_oblivious, "ps-cache-oblivious");
+SCALING_M(ps_deterministic, "ps-deterministic");
+SCALING_M(mgt, "mgt");
+
+#undef SCALING_M
+
+}  // namespace
+}  // namespace trienum::bench

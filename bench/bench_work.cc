@@ -1,0 +1,42 @@
+// EXP-W — the §1.2 work-optimality remark: all three Pagh-Silvestri
+// algorithms perform O(E^{3/2}) RAM operations, matching the Omega(t) output
+// bound on the witness family. `work_over_E15` should stay flat as E grows.
+#include <cmath>
+
+#include "bench_util.h"
+
+namespace trienum::bench {
+namespace {
+
+constexpr std::size_t kM = 1 << 10;
+constexpr std::size_t kB = 16;
+
+void BM_Work(benchmark::State& state, const std::string& algo) {
+  const std::size_t e = static_cast<std::size_t>(state.range(0));
+  auto raw = graph::Gnm(static_cast<graph::VertexId>(e / 4), e, 1010);
+  RunOutcome out;
+  for (auto _ : state) {
+    out = MeasureAlgorithm(algo, raw, kM, kB);
+  }
+  double e15 = std::pow(static_cast<double>(e), 1.5);
+  state.counters["E"] = static_cast<double>(e);
+  state.counters["work"] = static_cast<double>(out.work);
+  state.counters["work_over_E15"] = static_cast<double>(out.work) / e15;
+  state.counters["triangles"] = static_cast<double>(out.triangles);
+}
+
+#define WORK(algo_id, algo_name)                                        \
+  BENCHMARK_CAPTURE(BM_Work, algo_id, algo_name)                        \
+      ->RangeMultiplier(4)                                              \
+      ->Range(1 << 12, 1 << 16)                                         \
+      ->Iterations(1)                                                   \
+      ->Unit(benchmark::kMillisecond)
+
+WORK(ps_cache_aware, "ps-cache-aware");
+WORK(ps_cache_oblivious, "ps-cache-oblivious");
+WORK(ps_deterministic, "ps-deterministic");
+
+#undef WORK
+
+}  // namespace
+}  // namespace trienum::bench

@@ -1,0 +1,113 @@
+// Interactive I/O explorer: run any registered algorithm on a chosen graph
+// family under a chosen memory hierarchy and compare the measured block
+// I/Os against the paper's bounds.
+//
+//   $ ./io_explorer [algorithm] [family] [log2_E] [log2_M] [log2_B]
+//   $ ./io_explorer ps-cache-oblivious rmat 14 10 4
+//   $ ./io_explorer list            # show algorithms and families
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/algorithms.h"
+#include "core/cache_aware.h"
+#include "core/lower_bound.h"
+#include "core/mgt.h"
+#include "core/sink.h"
+#include "graph/generators.h"
+#include "graph/normalize.h"
+
+namespace {
+
+using namespace trienum;
+
+std::vector<graph::Edge> MakeFamily(const std::string& family, std::size_t e) {
+  using namespace trienum::graph;
+  if (family == "gnm") return Gnm(static_cast<VertexId>(e / 4), e, 17);
+  if (family == "rmat") return Rmat(20, e, 0.45, 0.22, 0.22, 18);
+  if (family == "clique") {
+    VertexId k = 3;
+    while (static_cast<std::size_t>(k) * (k + 1) / 2 <= e) ++k;
+    return Clique(k);
+  }
+  if (family == "tripartite") {
+    VertexId p = 1;
+    while (static_cast<std::size_t>(3) * (p + 1) * (p + 1) <= e) ++p;
+    return CompleteTripartite(p, p, p);
+  }
+  if (family == "bipartite") {
+    return BipartiteRandom(static_cast<VertexId>(e / 4),
+                           static_cast<VertexId>(e / 4), e, 19);
+  }
+  std::fprintf(stderr, "unknown family '%s'\n", family.c_str());
+  std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string algo = argc > 1 ? argv[1] : "ps-cache-oblivious";
+  if (algo == "list" || algo == "--help") {
+    std::printf("algorithms:\n");
+    for (const core::AlgorithmInfo& a : core::AllAlgorithms()) {
+      std::printf("  %-20s %s\n", a.name.c_str(), a.description.c_str());
+    }
+    std::printf("families: gnm rmat clique tripartite bipartite\n");
+    return 0;
+  }
+  std::string family = argc > 2 ? argv[2] : "gnm";
+  int log_e = argc > 3 ? std::atoi(argv[3]) : 14;
+  int log_m = argc > 4 ? std::atoi(argv[4]) : 10;
+  int log_b = argc > 5 ? std::atoi(argv[5]) : 4;
+
+  const core::AlgorithmInfo* info = core::FindAlgorithm(algo);
+  if (info == nullptr) {
+    std::fprintf(stderr, "unknown algorithm '%s' (try: %s list)\n",
+                 algo.c_str(), argv[0]);
+    return 1;
+  }
+
+  em::EmConfig cfg;
+  cfg.memory_words = std::size_t{1} << log_m;
+  cfg.block_words = std::size_t{1} << log_b;
+  em::Context ctx(cfg);
+  ctx.cache().set_counting(false);
+  graph::EmGraph g =
+      graph::BuildEmGraph(ctx, MakeFamily(family, std::size_t{1} << log_e));
+  ctx.cache().set_counting(true);
+  ctx.cache().Reset();
+  ctx.ResetWork();
+
+  core::ChecksumSink sink;
+  info->run(ctx, g, sink);
+  ctx.cache().FlushAll();
+
+  const em::IoStats& io = ctx.cache().stats();
+  double e = static_cast<double>(g.num_edges());
+  std::printf("%s on %s: E=%zu, V=%u, M=2^%d words, B=2^%d words\n",
+              algo.c_str(), family.c_str(), g.num_edges(), g.num_vertices,
+              log_m, log_b);
+  std::printf("triangles        : %llu (checksum %016llx)\n",
+              static_cast<unsigned long long>(sink.count()),
+              static_cast<unsigned long long>(sink.checksum()));
+  std::printf("block I/Os       : %llu (%llu reads, %llu writes)\n",
+              static_cast<unsigned long long>(io.total_ios()),
+              static_cast<unsigned long long>(io.block_reads),
+              static_cast<unsigned long long>(io.block_writes));
+  std::printf("internal work    : %llu ops\n",
+              static_cast<unsigned long long>(ctx.work()));
+  std::printf("E^1.5/(sqrt(M)B) : %.0f   (measured/bound = %.1f)\n",
+              core::PaghSilvestriIoBound(g.num_edges(), cfg.memory_words,
+                                         cfg.block_words),
+              io.total_ios() / core::PaghSilvestriIoBound(
+                                   g.num_edges(), cfg.memory_words,
+                                   cfg.block_words));
+  std::printf("MGT model E^2/MB : %.0f\n",
+              core::MgtIoBound(g.num_edges(), cfg.memory_words,
+                               cfg.block_words));
+  std::printf("Thm 3 lower bound: %.0f\n",
+              core::IoLowerBound(sink.count(), cfg.memory_words,
+                                 cfg.block_words));
+  std::printf("scan floor E/B   : %.0f\n", e / static_cast<double>(cfg.block_words));
+  return 0;
+}

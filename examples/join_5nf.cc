@@ -1,0 +1,72 @@
+// The paper's motivating database example (§1): a Sells(salesperson, brand,
+// productType) table in 5th normal form is stored as three binary
+// projections; reconstructing it is the natural join R |x| S |x| T, which is
+// exactly triangle enumeration on the union of the three bipartite graphs.
+//
+//   $ ./join_5nf
+#include <algorithm>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "join/relation.h"
+#include "join/triangle_join.h"
+
+int main() {
+  using namespace trienum;
+
+  // Build a product-form Sells table: each salesperson sells every product
+  // in her brand-set x type-set rectangle ("she sells all available
+  // products in B x T", §1).
+  SplitMix64 rng(5);
+  std::vector<join::Tuple3> sells;
+  const int people = 40, brands = 12, types = 9;
+  for (std::uint32_t p = 0; p < people; ++p) {
+    std::vector<std::uint32_t> bset, tset;
+    for (std::uint32_t b = 0; b < brands; ++b) {
+      if (rng.NextDouble() < 0.35) bset.push_back(100 + b);
+    }
+    for (std::uint32_t t = 0; t < types; ++t) {
+      if (rng.NextDouble() < 0.45) tset.push_back(200 + t);
+    }
+    for (std::uint32_t b : bset) {
+      for (std::uint32_t t : tset) sells.push_back(join::Tuple3{p, b, t});
+    }
+  }
+  std::printf("Sells has %zu tuples\n", sells.size());
+  std::printf("5NF-decomposable: %s\n",
+              join::IsFifthNormalFormDecomposable(sells) ? "yes" : "no");
+
+  // Decompose into the three binary projections (the 5NF schema).
+  join::Decomposition d = join::Decompose(sells);
+  std::printf("projections: %s-%s %zu rows, %s-%s %zu rows, %s-%s %zu rows\n",
+              d.ab.lhs.c_str(), d.ab.rhs.c_str(), d.ab.rows.size(),
+              d.bc.lhs.c_str(), d.bc.rhs.c_str(), d.bc.rows.size(),
+              d.ac.lhs.c_str(), d.ac.rhs.c_str(), d.ac.rows.size());
+
+  // Reconstruct Sells via triangle enumeration, with two different engines.
+  for (const char* algo : {"ps-cache-aware", "bnl"}) {
+    em::EmConfig cfg;
+    cfg.memory_words = 1 << 10;
+    cfg.block_words = 32;
+    em::Context ctx(cfg);
+    join::TriangleJoinStats stats;
+    auto result = join::TriangleJoin(ctx, d, algo, &stats);
+    if (!result.ok()) {
+      std::printf("%s failed: %s\n", algo, result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "%-16s -> %llu tuples, graph %zu edges / %u vertices, %llu I/Os\n",
+        algo, static_cast<unsigned long long>(stats.output_tuples),
+        stats.graph_edges, stats.graph_vertices,
+        static_cast<unsigned long long>(stats.io.total_ios()));
+
+    // Verify losslessness of the decomposition (the 5NF property).
+    std::vector<join::Tuple3> canon = sells;
+    std::sort(canon.begin(), canon.end());
+    canon.erase(std::unique(canon.begin(), canon.end()), canon.end());
+    std::printf("                 join reconstructs Sells exactly: %s\n",
+                (*result == canon) ? "yes" : "NO (bug!)");
+  }
+  return 0;
+}

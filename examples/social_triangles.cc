@@ -1,0 +1,74 @@
+// Social-network analysis (§1 cites community detection and friendship-
+// structure studies as triangle applications): compute per-vertex triangle
+// counts and the global clustering coefficient of a skewed R-MAT "social"
+// graph, streaming triangles straight out of the enumeration — no triangle
+// list is ever materialized, which is the point of *enumeration* vs listing.
+//
+//   $ ./social_triangles
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/algorithms.h"
+#include "core/sink.h"
+#include "graph/generators.h"
+#include "graph/normalize.h"
+
+int main() {
+  using namespace trienum;
+
+  em::EmConfig cfg;
+  cfg.memory_words = 1 << 11;
+  cfg.block_words = 32;
+  em::Context ctx(cfg);
+
+  std::vector<graph::Edge> raw = graph::Rmat(13, 20000, 0.5, 0.2, 0.2, 99);
+  graph::EmGraph g = graph::BuildEmGraph(ctx, raw);
+  std::printf("social graph: %zu edges, %u vertices\n", g.num_edges(),
+              g.num_vertices);
+
+  // Stream triangles into per-vertex counters (one word per vertex — this
+  // is the application pipeline, outside the enumeration's I/O accounting).
+  std::vector<std::uint64_t> tri_count(g.num_vertices, 0);
+  std::uint64_t total = 0;
+  core::CallbackSink sink([&](graph::VertexId a, graph::VertexId b,
+                              graph::VertexId c) {
+    ++tri_count[a];
+    ++tri_count[b];
+    ++tri_count[c];
+    ++total;
+  });
+
+  ctx.cache().Reset();
+  core::FindAlgorithm("ps-cache-aware")->run(ctx, g, sink);
+  ctx.cache().FlushAll();
+  std::printf("triangles: %llu   (enumeration cost: %llu block I/Os)\n",
+              static_cast<unsigned long long>(total),
+              static_cast<unsigned long long>(ctx.cache().stats().total_ios()));
+
+  // Global clustering coefficient: 3*triangles / wedges.
+  ctx.cache().set_counting(false);
+  double wedges = 0;
+  for (graph::VertexId v = 0; v < g.num_vertices; ++v) {
+    double d = g.degrees.Get(v);
+    wedges += d * (d - 1) / 2.0;
+  }
+  std::printf("global clustering coefficient: %.4f\n",
+              wedges > 0 ? 3.0 * static_cast<double>(total) / wedges : 0.0);
+
+  // Top triangle-carrying vertices (the "community cores").
+  std::vector<graph::VertexId> order(g.num_vertices);
+  for (graph::VertexId v = 0; v < g.num_vertices; ++v) order[v] = v;
+  std::sort(order.begin(), order.end(),
+            [&](graph::VertexId x, graph::VertexId y) {
+              return tri_count[x] > tri_count[y];
+            });
+  std::printf("top community cores (vertex: triangles, degree):\n");
+  for (int i = 0; i < 5 && i < static_cast<int>(order.size()); ++i) {
+    graph::VertexId v = order[i];
+    std::printf("  v%u: %llu triangles, degree %u\n", v,
+                static_cast<unsigned long long>(tri_count[v]),
+                g.degrees.Get(v));
+  }
+  return 0;
+}

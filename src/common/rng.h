@@ -1,0 +1,49 @@
+// Deterministic pseudo-random number utilities. All randomized components of
+// the library draw seeds through SplitMix64 so that every test, example and
+// benchmark is reproducible from a single 64-bit seed.
+#ifndef TRIENUM_COMMON_RNG_H_
+#define TRIENUM_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace trienum {
+
+/// \brief SplitMix64: a tiny, high-quality 64-bit mixer/stream generator.
+///
+/// Used both as a seed sequencer (deterministic schedules for the
+/// derandomizer's candidate enumeration) and as a general-purpose PRNG for
+/// graph generation.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  /// Next 64 pseudo-random bits.
+  std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform value in [0, bound). bound must be nonzero.
+  std::uint64_t Below(std::uint64_t bound) { return Next() % bound; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Stateless mix of a single 64-bit value (finalizer of SplitMix64).
+inline std::uint64_t Mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace trienum
+
+#endif  // TRIENUM_COMMON_RNG_H_

@@ -1,0 +1,138 @@
+// Minimal Status/Result error-handling primitives, in the style used by
+// database engines (Arrow, RocksDB): fallible public APIs return a Status or
+// Result<T> instead of throwing.
+#ifndef TRIENUM_COMMON_STATUS_H_
+#define TRIENUM_COMMON_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace trienum {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kIoError,
+  kNotFound,
+  kCapacityExceeded,
+  kInternal,
+};
+
+/// \brief Outcome of a fallible operation.
+///
+/// A default-constructed Status is OK. Non-OK statuses carry a code and a
+/// human-readable message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status CapacityExceeded(std::string msg) {
+    return Status(StatusCode::kCapacityExceeded, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return CodeName(code_) + ": " + msg_;
+  }
+
+  static std::string CodeName(StatusCode code) {
+    switch (code) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "InvalidArgument";
+      case StatusCode::kOutOfRange: return "OutOfRange";
+      case StatusCode::kIoError: return "IoError";
+      case StatusCode::kNotFound: return "NotFound";
+      case StatusCode::kCapacityExceeded: return "CapacityExceeded";
+      case StatusCode::kInternal: return "Internal";
+    }
+    return "Unknown";
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// \brief Either a value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}              // NOLINT implicit
+  Result(Status status) : v_(std::move(status)) {}       // NOLINT implicit
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+  const Status& status() const { return std::get<Status>(v_); }
+
+  /// Returns the contained value; aborts if this holds an error.
+  T& ValueOrDie() {
+    if (!ok()) {
+      std::fprintf(stderr, "Result::ValueOrDie on error: %s\n",
+                   status().ToString().c_str());
+      std::abort();
+    }
+    return std::get<T>(v_);
+  }
+  const T& ValueOrDie() const { return const_cast<Result*>(this)->ValueOrDie(); }
+
+  T& operator*() { return ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+}  // namespace trienum
+
+/// Internal invariant check; aborts with a message on violation. Used for
+/// conditions that indicate library bugs, not user errors.
+#define TRIENUM_CHECK(cond)                                                      \
+  do {                                                                           \
+    if (!(cond)) {                                                               \
+      std::fprintf(stderr, "TRIENUM_CHECK failed at %s:%d: %s\n", __FILE__,      \
+                   __LINE__, #cond);                                             \
+      std::abort();                                                              \
+    }                                                                            \
+  } while (0)
+
+#define TRIENUM_CHECK_MSG(cond, msg)                                             \
+  do {                                                                           \
+    if (!(cond)) {                                                               \
+      std::fprintf(stderr, "TRIENUM_CHECK failed at %s:%d: %s (%s)\n", __FILE__, \
+                   __LINE__, #cond, msg);                                        \
+      std::abort();                                                              \
+    }                                                                            \
+  } while (0)
+
+#define TRIENUM_RETURN_NOT_OK(expr)             \
+  do {                                          \
+    ::trienum::Status _st = (expr);             \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+#endif  // TRIENUM_COMMON_STATUS_H_

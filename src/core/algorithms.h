@@ -1,0 +1,36 @@
+// Registry of every triangle-enumeration algorithm in the library, used by
+// the test matrix, the benches and the examples to sweep uniformly.
+#ifndef TRIENUM_CORE_ALGORITHMS_H_
+#define TRIENUM_CORE_ALGORITHMS_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/sink.h"
+#include "graph/normalize.h"
+
+namespace trienum::core {
+
+struct AlgorithmInfo {
+  std::string name;
+  std::string description;
+  /// True if the algorithm reads M/B (cache-aware); false for oblivious.
+  bool cache_aware = true;
+  /// True if the algorithm uses randomization (seeded from the context).
+  bool randomized = false;
+  std::function<void(em::Context&, const graph::EmGraph&, TriangleSink&)> run;
+};
+
+/// All algorithms: the paper's three plus every baseline it cites.
+const std::vector<AlgorithmInfo>& AllAlgorithms();
+
+/// Lookup by name; nullptr if absent. Names: "ps-cache-aware",
+/// "ps-cache-oblivious", "ps-deterministic", "mgt", "dementiev",
+/// "edge-iterator", "bnl".
+const AlgorithmInfo* FindAlgorithm(std::string_view name);
+
+}  // namespace trienum::core
+
+#endif  // TRIENUM_CORE_ALGORITHMS_H_

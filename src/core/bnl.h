@@ -1,0 +1,31 @@
+// Pipelined block-nested-loop ternary join, the naive database baseline of
+// §1.1: "it is possible to use two block-nested loop joins (in a pipelined
+// fashion) to solve the problem incurring O(E^3/(M^2 B)) I/Os."
+//
+// Chunks of alpha*M edges (v1, v2) are held resident; one scan of E joins
+// them with edges (v2, v3); the resulting partial paths are buffered (never
+// materialized to disk — pipelining) and verified against the third relation
+// with batched probe scans of E.
+#ifndef TRIENUM_CORE_BNL_H_
+#define TRIENUM_CORE_BNL_H_
+
+#include "core/sink.h"
+#include "graph/normalize.h"
+
+namespace trienum::core {
+
+struct BnlOptions {
+  double chunk_fraction = 1.0 / 8.0;      ///< resident edge chunk, alpha*M
+  double candidate_fraction = 1.0 / 8.0;  ///< in-memory path buffer size
+};
+
+void EnumerateBnl(em::Context& ctx, const graph::EmGraph& g, TriangleSink& sink,
+                  const BnlOptions& opts = {});
+
+/// Worst-case prediction O(E^3/(M^2 B)) with implementation constants.
+double BnlIoBound(std::size_t num_edges, std::size_t m, std::size_t b,
+                  const BnlOptions& opts = {});
+
+}  // namespace trienum::core
+
+#endif  // TRIENUM_CORE_BNL_H_

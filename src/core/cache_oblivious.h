@@ -1,0 +1,59 @@
+// Section 3: the cache-oblivious randomized algorithm (Theorem 1) —
+// O(E^{3/2} / (sqrt(M) B)) expected I/Os without ever reading M or B.
+//
+// The generalized (c0,c1,c2)-enumeration problem is solved recursively:
+//   1. triangles through "local high degree" vertices (degree >= E/8 within
+//      the subproblem; at most 16 of them) are enumerated with Lemma 1
+//      (using funnelsort) and those vertices' edges removed;
+//   2. one fresh 4-wise-independent random bit refines the coloring,
+//      xi'(v) = 2*xi(v) - b(v);
+//   3. the 8 child color vectors in {2c0-1,2c0}x{2c1-1,2c1}x{2c2-1,2c2} are
+//      solved recursively on the compatible-edge subsets.
+// Recursion ends at depth log4(E) with Dementiev's sort/scan algorithm
+// (funnelsort flavor) filtered to proper triangles. Triangle enumeration is
+// the (1,1,1)-problem under the constant coloring.
+#ifndef TRIENUM_CORE_CACHE_OBLIVIOUS_H_
+#define TRIENUM_CORE_CACHE_OBLIVIOUS_H_
+
+#include <cstdint>
+
+#include "core/sink.h"
+#include "graph/normalize.h"
+
+namespace trienum::core {
+
+struct CacheObliviousOptions {
+  /// Seed for the per-node refinement bits; 0 means the context's seed.
+  std::uint64_t seed = 0;
+  /// Ablation: skip a child whose edge set misses one of the three slot
+  /// classes its proper triangles would need (not in the paper; default off).
+  bool prune_empty_slots = false;
+  /// Fall to the base case when a subproblem has at most this many edges,
+  /// in addition to the paper's depth-log4(E) rule. The paper's analysis
+  /// already treats constant-size subproblems as free (its degenerate
+  /// high-degree step empties them); terminating them in one wedge join is
+  /// semantically identical and keeps the simulated constants honest.
+  /// 0 = paper-exact depth-only termination (ablation bench EXP-AB).
+  std::size_t base_cutoff = 16;
+  /// Override of the maximum recursion depth (< 0 = the paper's log4(E)).
+  int max_depth_override = -1;
+};
+
+/// Statistics of one run, for the recursion-shape benches.
+struct CacheObliviousReport {
+  std::uint64_t subproblems = 0;       ///< recursion nodes entered
+  std::uint64_t base_cases = 0;        ///< Dementiev leaves executed
+  std::uint64_t high_degree_calls = 0; ///< Lemma-1 invocations
+  std::uint64_t total_child_edges = 0; ///< sum of child edge-set sizes
+  int max_depth_reached = 0;
+};
+
+/// Enumerates all triangles of `g`, cache-obliviously.
+void EnumerateCacheOblivious(em::Context& ctx, const graph::EmGraph& g,
+                             TriangleSink& sink,
+                             const CacheObliviousOptions& opts = {},
+                             CacheObliviousReport* report = nullptr);
+
+}  // namespace trienum::core
+
+#endif  // TRIENUM_CORE_CACHE_OBLIVIOUS_H_

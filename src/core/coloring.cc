@@ -1,0 +1,105 @@
+#include "core/coloring.h"
+
+#include <tuple>
+
+#include "extsort/ext_merge_sort.h"
+#include "extsort/scan_ops.h"
+
+namespace trienum::core {
+namespace {
+
+/// One edge endpoint within a color class.
+struct IncidenceRec {
+  std::uint64_t class_key = 0;
+  graph::VertexId v = 0;
+  std::uint32_t pad = 0;
+};
+
+double Choose2(double n) { return n * (n - 1) / 2.0; }
+
+}  // namespace
+
+ColoringStats ComputeColoringStats(em::Context& ctx, em::Array<graph::Edge> edges,
+                                   const ColorFn& color, std::uint32_t c) {
+  ColoringStats out;
+  const std::size_t m = edges.size();
+  if (m == 0) return out;
+  auto region = ctx.Region();
+
+  // Class keys, sorted: class sizes by run-length.
+  em::Array<std::uint64_t> keys = ctx.Alloc<std::uint64_t>(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    graph::Edge e = edges.Get(i);
+    std::uint64_t key =
+        static_cast<std::uint64_t>(color(e.u)) * c + color(e.v);
+    keys.Set(i, key);
+  }
+  extsort::ExternalMergeSort(ctx, keys, [](std::uint64_t a, std::uint64_t b) {
+    return a < b;
+  });
+  {
+    std::uint64_t cur = keys.Get(0);
+    std::uint64_t cnt = 1;
+    auto close_run = [&]() {
+      out.x_total += Choose2(static_cast<double>(cnt));
+      ++out.nonempty_classes;
+      out.max_class_size = std::max(out.max_class_size, cnt);
+    };
+    for (std::size_t i = 1; i < m; ++i) {
+      std::uint64_t k = keys.Get(i);
+      if (k == cur) {
+        ++cnt;
+      } else {
+        close_run();
+        cur = k;
+        cnt = 1;
+      }
+    }
+    close_run();
+  }
+
+  // Adjacent pairs: per (class, vertex) incident-edge counts. Two same-class
+  // edges share at most one vertex (no parallel edges), so summing
+  // C(count, 2) over (class, vertex) counts each adjacent pair exactly once.
+  em::Array<IncidenceRec> inc = ctx.Alloc<IncidenceRec>(2 * m);
+  for (std::size_t i = 0; i < m; ++i) {
+    graph::Edge e = edges.Get(i);
+    std::uint64_t key =
+        static_cast<std::uint64_t>(color(e.u)) * c + color(e.v);
+    inc.Set(2 * i, IncidenceRec{key, e.u, 0});
+    inc.Set(2 * i + 1, IncidenceRec{key, e.v, 0});
+  }
+  extsort::ExternalMergeSort(ctx, inc,
+                             [](const IncidenceRec& a, const IncidenceRec& b) {
+                               return std::tie(a.class_key, a.v) <
+                                      std::tie(b.class_key, b.v);
+                             });
+  {
+    IncidenceRec cur = inc.Get(0);
+    std::uint64_t cnt = 1;
+    for (std::size_t i = 1; i < 2 * m; ++i) {
+      IncidenceRec r = inc.Get(i);
+      if (r.class_key == cur.class_key && r.v == cur.v) {
+        ++cnt;
+      } else {
+        out.x_adj += Choose2(static_cast<double>(cnt));
+        cur = r;
+        cnt = 1;
+      }
+    }
+    out.x_adj += Choose2(static_cast<double>(cnt));
+  }
+  out.x_nonadj = out.x_total - out.x_adj;
+  return out;
+}
+
+double Lemma3Bound(std::size_t num_edges, std::size_t memory_words) {
+  return static_cast<double>(num_edges) * static_cast<double>(memory_words);
+}
+
+double DerandomizedBound(std::size_t num_edges, std::size_t memory_words) {
+  return 2.718281828459045 * static_cast<double>(num_edges) *
+         static_cast<double>(memory_words);
+}
+
+}  // namespace trienum::core

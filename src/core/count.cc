@@ -1,0 +1,69 @@
+#include "core/count.h"
+
+#include "core/algorithms.h"
+#include "core/sink.h"
+#include "extsort/scan_ops.h"
+#include "hashing/kwise.h"
+
+namespace trienum::core {
+
+Result<std::uint64_t> CountTriangles(em::Context& ctx, const graph::EmGraph& g,
+                                     std::string_view algorithm) {
+  const AlgorithmInfo* algo = FindAlgorithm(algorithm);
+  if (algo == nullptr) {
+    return Status::NotFound("unknown algorithm: " + std::string(algorithm));
+  }
+  CountingSink sink;
+  algo->run(ctx, g, sink);
+  return sink.count();
+}
+
+Result<SampledCountResult> EstimateTriangles(em::Context& ctx,
+                                             const graph::EmGraph& g, double p,
+                                             std::string_view algorithm,
+                                             std::uint64_t seed) {
+  if (!(p > 0.0 && p <= 1.0)) {
+    return Status::InvalidArgument("sampling rate must be in (0, 1]");
+  }
+  const AlgorithmInfo* algo = FindAlgorithm(algorithm);
+  if (algo == nullptr) {
+    return Status::NotFound("unknown algorithm: " + std::string(algorithm));
+  }
+
+  em::IoStats before = ctx.cache().stats();
+  auto region = ctx.Region();
+
+  // Edge sampling by hashing the (u, v) pair: deterministic in the seed,
+  // one filtering scan. Sampling preserves the §1.3 invariants (subset of a
+  // lex-sorted list), so no renormalization is needed — only the degree
+  // array would be stale, and the enumerators that use it (high-degree
+  // split) see a conservative superset threshold, which stays correct.
+  hashing::FourWiseHash h(seed);
+  const auto threshold = static_cast<std::uint64_t>(
+      p * static_cast<double>(hashing::kMersenne61));
+  em::Array<graph::Edge> sampled = ctx.Alloc<graph::Edge>(g.num_edges());
+  std::size_t kept = extsort::Filter(
+      g.edges, sampled, [&](const graph::Edge& e) {
+        std::uint64_t key =
+            (static_cast<std::uint64_t>(e.u) << 32) | e.v;
+        return h(key) < threshold;
+      });
+
+  graph::EmGraph sub;
+  sub.edges = sampled.Slice(0, kept);
+  sub.num_vertices = g.num_vertices;
+  sub.degrees = g.degrees;
+
+  CountingSink sink;
+  algo->run(ctx, sub, sink);
+  ctx.cache().FlushAll();
+
+  SampledCountResult out;
+  out.sampled_triangles = sink.count();
+  out.sampled_edges = kept;
+  out.estimate = static_cast<double>(sink.count()) / (p * p * p);
+  out.io = ctx.cache().stats() - before;
+  return out;
+}
+
+}  // namespace trienum::core

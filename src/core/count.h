@@ -1,0 +1,42 @@
+// Triangle counting on top of enumeration.
+//
+// §1.2 notes that the paper's algorithms (unlike "weak" enumerators) can
+// compute exact triangle counts; and §1.1 points to the rich literature on
+// *approximate* counting [17]. This module provides both: exact counting
+// through any registered enumerator, and a DOULION-style sampled estimator
+// (keep each edge with probability p, count on the sparsified graph, scale
+// by 1/p^3) whose I/O cost drops superlinearly because the enumeration bound
+// is E^{3/2}.
+#ifndef TRIENUM_CORE_COUNT_H_
+#define TRIENUM_CORE_COUNT_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/status.h"
+#include "graph/normalize.h"
+
+namespace trienum::core {
+
+/// Exact triangle count via the named enumeration algorithm.
+Result<std::uint64_t> CountTriangles(em::Context& ctx, const graph::EmGraph& g,
+                                     std::string_view algorithm);
+
+struct SampledCountResult {
+  double estimate = 0;             ///< t_hat = triangles(G_p) / p^3
+  std::uint64_t sampled_triangles = 0;
+  std::size_t sampled_edges = 0;
+  em::IoStats io;                  ///< I/O of sparsify + enumerate
+};
+
+/// DOULION-style estimator: sparsify by 4-wise-hash edge sampling at rate
+/// `p` (deterministic in `seed`), enumerate the sample with the named
+/// algorithm, scale by 1/p^3. Unbiased over the seed choice.
+Result<SampledCountResult> EstimateTriangles(em::Context& ctx,
+                                             const graph::EmGraph& g, double p,
+                                             std::string_view algorithm,
+                                             std::uint64_t seed);
+
+}  // namespace trienum::core
+
+#endif  // TRIENUM_CORE_COUNT_H_

@@ -1,0 +1,25 @@
+#include "core/dementiev.h"
+
+#include <cmath>
+
+namespace trienum::core {
+
+void EnumerateDementiev(em::Context& ctx, const graph::EmGraph& g,
+                        TriangleSink& sink) {
+  WedgeJoinEnumerate<graph::Edge>(
+      ctx, g.edges, extsort::AwareSorter{},
+      [](const graph::Triangle&, std::uint32_t, std::uint32_t, std::uint32_t) {
+        return true;
+      },
+      sink);
+}
+
+double DementievIoBound(std::size_t num_edges, std::size_t m, std::size_t b) {
+  // sort(E^{3/2}) on 3-word wedge records, plus lower-order sorts of E.
+  double e = static_cast<double>(num_edges);
+  double wedges = std::pow(e, 1.5);
+  return extsort::SortIoBound(static_cast<std::size_t>(wedges), 3, m, b) +
+         4.0 * extsort::SortIoBound(num_edges, 3, m, b);
+}
+
+}  // namespace trienum::core

@@ -1,0 +1,23 @@
+// Edge-iterator triangle listing in the style of Menegola's external-memory
+// algorithm [18]: build a CSR forward-adjacency structure, then for every
+// edge (u, v) intersect the tail of N+(u) with N+(v). Each edge incurs one
+// unblocked random access into the adjacency array, giving the paper's
+// O(E + E^{3/2}/B) bound — the "weak temporal locality" comparison point of
+// §1.1 (no dependence on M at all).
+#ifndef TRIENUM_CORE_EDGE_ITERATOR_H_
+#define TRIENUM_CORE_EDGE_ITERATOR_H_
+
+#include "core/sink.h"
+#include "graph/normalize.h"
+
+namespace trienum::core {
+
+void EnumerateEdgeIterator(em::Context& ctx, const graph::EmGraph& g,
+                           TriangleSink& sink);
+
+/// Predicted O(E + E^{3/2}/B) cost with implementation constants.
+double EdgeIteratorIoBound(std::size_t num_edges, std::size_t b);
+
+}  // namespace trienum::core
+
+#endif  // TRIENUM_CORE_EDGE_ITERATOR_H_

@@ -1,0 +1,37 @@
+#include "core/lower_bound.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace trienum::core {
+
+double MaxTrianglesWithEdges(double m) {
+  return std::pow(2.0 * m, 1.5) / 6.0;
+}
+
+double IoLowerBound(std::uint64_t t, std::size_t m, std::size_t b) {
+  double td = static_cast<double>(t);
+  double bd = static_cast<double>(b);
+  return td / (std::sqrt(static_cast<double>(m)) * bd) +
+         std::pow(td, 2.0 / 3.0) / bd;
+}
+
+double IoLowerBoundEpoch(std::uint64_t t, std::size_t m, std::size_t b) {
+  double td = static_cast<double>(t);
+  double md = static_cast<double>(m);
+  double bd = static_cast<double>(b);
+  // Per the proof's simulation: epochs of M/B I/Os on memory 2M; each epoch
+  // emits at most T(2M) = (4M)^{3/2}/6 distinct triangles.
+  double per_epoch = MaxTrianglesWithEdges(2.0 * md);
+  double epochs = std::floor(td / per_epoch);
+  double term1 = epochs * (md / bd);
+  double term2 = std::pow(td, 2.0 / 3.0) / bd;
+  return std::max(term1, term2);
+}
+
+std::uint64_t CliqueTriangles(std::uint64_t k) {
+  if (k < 3) return 0;
+  return k * (k - 1) * (k - 2) / 6;
+}
+
+}  // namespace trienum::core

@@ -1,0 +1,36 @@
+// Theorem 3: any algorithm enumerating t distinct triangles performs
+// Omega(t / (sqrt(M) B) + t^{2/3} / B) I/Os, even in the best case.
+//
+// The proof simulates any execution in epochs of M/B I/Os on a doubled
+// memory; within an epoch at most O(M^{3/2}) distinct triangles can be
+// emitted (at most 2M edges are touchable, and by Kruskal-Katona a graph
+// with m edges has at most (2m)^{3/2}/6 triangles), and Omega(t^{2/3})
+// edges must be read overall. These functions evaluate both the clean
+// asymptotic form and the constant-explicit epoch form, so benches can
+// report the true optimality *gap* of each algorithm.
+#ifndef TRIENUM_CORE_LOWER_BOUND_H_
+#define TRIENUM_CORE_LOWER_BOUND_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace trienum::core {
+
+/// Kruskal-Katona: the maximum number of triangles in a graph of m edges,
+/// (2m)^{3/2} / 6 (attained by cliques).
+double MaxTrianglesWithEdges(double m);
+
+/// Asymptotic lower-bound form t/(sqrt(M)*B) + t^{2/3}/B (no constants).
+double IoLowerBound(std::uint64_t t, std::size_t m, std::size_t b);
+
+/// Constant-explicit epoch-argument bound: floor(t / T(2M)) * (M/B) with
+/// T(x) = (2x)^{3/2}/6 the per-epoch emission cap, combined with the
+/// t^{2/3}/B edge-reading term.
+double IoLowerBoundEpoch(std::uint64_t t, std::size_t m, std::size_t b);
+
+/// Number of triangles in K_k (the lower-bound witness family).
+std::uint64_t CliqueTriangles(std::uint64_t k);
+
+}  // namespace trienum::core
+
+#endif  // TRIENUM_CORE_LOWER_BOUND_H_

@@ -1,0 +1,26 @@
+#include "core/mgt.h"
+
+#include <cmath>
+
+namespace trienum::core {
+
+void EnumerateMgt(em::Context& ctx, const graph::EmGraph& g, TriangleSink& sink,
+                  const MgtOptions& opts) {
+  PivotEnumOptions popts;
+  popts.chunk_fraction = opts.chunk_fraction;
+  // Lemma 2 with the pivot set equal to the whole edge set: every triangle
+  // has its (unique) pivot edge somewhere in E, so all are enumerated.
+  PivotEnumerate<graph::Edge>(ctx, g.edges, g.edges, g.edges, sink, popts);
+}
+
+double MgtIoBound(std::size_t num_edges, std::size_t m, std::size_t b,
+                  double chunk_fraction) {
+  double e = static_cast<double>(num_edges);
+  double chunk = std::max(1.0, static_cast<double>(m) * chunk_fraction);
+  double chunks = std::ceil(e / chunk);
+  // Each chunk costs one scan of E (cone stream) plus reading the chunk.
+  return chunks * (e / static_cast<double>(b) + chunk / static_cast<double>(b)) +
+         1.0;
+}
+
+}  // namespace trienum::core

@@ -1,0 +1,30 @@
+// The Hu-Tao-Chung "massive graph triangulation" algorithm (SIGMOD 2013),
+// adapted to enumeration as in the paper: Lemma 2 applied with E' = E, for a
+// total of O(E/B + E^2/(MB)) I/Os. This is the main prior-art comparator the
+// paper improves on by a factor min(sqrt(E/M), sqrt(M)).
+#ifndef TRIENUM_CORE_MGT_H_
+#define TRIENUM_CORE_MGT_H_
+
+#include "core/pivot_enum.h"
+#include "core/sink.h"
+#include "graph/normalize.h"
+
+namespace trienum::core {
+
+struct MgtOptions {
+  /// Fraction alpha of internal memory holding the resident pivot chunk.
+  double chunk_fraction = 1.0 / 8.0;
+};
+
+/// Enumerates every triangle of the normalized graph `g`.
+void EnumerateMgt(em::Context& ctx, const graph::EmGraph& g, TriangleSink& sink,
+                  const MgtOptions& opts = {});
+
+/// Predicted I/O cost O(E/B + E^2/(MB)) with the implementation's constants
+/// (for bound tests and benches).
+double MgtIoBound(std::size_t num_edges, std::size_t m, std::size_t b,
+                  double chunk_fraction = 1.0 / 8.0);
+
+}  // namespace trienum::core
+
+#endif  // TRIENUM_CORE_MGT_H_

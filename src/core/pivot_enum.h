@@ -1,0 +1,137 @@
+// Lemma 2 (Hu, Tao, Chung): enumerate all triangles whose pivot edge lies in
+// a designated edge set, in O(E/B + E'·E/(MB)) I/Os.
+//
+// The pivot set is consumed in chunks of alpha*M edges held in internal
+// memory. For each chunk, one scan of the cone edge stream(s) — grouped by
+// smaller endpoint v, which the §1.3 lex order provides for free — collects
+// Gamma_v, the neighbours of v that appear in the resident chunk, and every
+// resident pivot edge {u, w} with u, w in Gamma_v closes the triangle
+// (v, u, w).
+//
+// The same engine serves three callers:
+//   * the full Hu-Tao-Chung baseline (cone = pivot = E);
+//   * step 3 of the paper's cache-aware algorithm, where the cone edges come
+//     from color buckets (tau1,tau2) and (tau1,tau3) and the pivot from
+//     (tau2,tau3) — which makes the paper's "ignore triangles whose cone
+//     vertex is not colored tau1" a structural no-op;
+//   * ablation benches sweeping the chunk fraction alpha.
+#ifndef TRIENUM_CORE_PIVOT_ENUM_H_
+#define TRIENUM_CORE_PIVOT_ENUM_H_
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/sink.h"
+#include "em/array.h"
+#include "graph/types.h"
+
+namespace trienum::core {
+
+struct PivotEnumOptions {
+  /// Fraction alpha of internal memory used for the resident pivot chunk.
+  double chunk_fraction = 1.0 / 8.0;
+};
+
+/// \brief Enumerates all triangles (v, u, w), v < u < w, with cone edges
+/// {v,u} in `cone_a`, {v,w} in `cone_b` and pivot edge {u,w} in `pivot`.
+///
+/// Preconditions: all three arrays are lex-sorted with u < v per edge. Pass
+/// the same array as `cone_a` and `cone_b` when they coincide (detected by
+/// base address; the stream is then scanned once and feeds both roles).
+template <typename EdgeT>
+void PivotEnumerate(em::Context& ctx, em::Array<EdgeT> cone_a,
+                    em::Array<EdgeT> cone_b, em::Array<EdgeT> pivot,
+                    TriangleSink& sink, const PivotEnumOptions& opts = {}) {
+  using Access = graph::EdgeAccess<EdgeT>;
+  using graph::VertexId;
+  if (pivot.empty() || cone_a.empty() || cone_b.empty()) return;
+
+  const bool same_cone = cone_a.base() == cone_b.base();
+  const std::size_t words_per = em::Array<EdgeT>::kWordsPer;
+  std::size_t chunk_items = static_cast<std::size_t>(
+      static_cast<double>(ctx.memory_words()) * opts.chunk_fraction /
+      static_cast<double>(words_per));
+  chunk_items = std::max<std::size_t>(chunk_items, 1);
+
+  for (std::size_t p0 = 0; p0 < pivot.size(); p0 += chunk_items) {
+    const std::size_t p1 = std::min(pivot.size(), p0 + chunk_items);
+    const std::size_t csize = p1 - p0;
+
+    // Internal-memory working set for this chunk: the chunk itself, its
+    // adjacency index, the endpoint filters, and the per-v buffers.
+    em::ScratchLease lease = ctx.LeaseScratch(csize * (words_per + 6));
+
+    std::vector<EdgeT> chunk(csize);
+    pivot.ReadTo(p0, p1, chunk.data());
+    std::sort(chunk.begin(), chunk.end(), graph::LexLess{});
+    ctx.AddWork(csize * 2);
+
+    // Adjacency over the resident pivot edges, keyed by smaller endpoint.
+    std::unordered_map<VertexId, std::pair<std::uint32_t, std::uint32_t>> adj;
+    std::unordered_set<VertexId> pivot_max_side;
+    adj.reserve(csize);
+    pivot_max_side.reserve(csize);
+    for (std::size_t i = 0; i < csize; ++i) {
+      VertexId u = Access::U(chunk[i]);
+      auto [it, fresh] = adj.try_emplace(u, i, i + 1);
+      if (!fresh) it->second.second = static_cast<std::uint32_t>(i + 1);
+      pivot_max_side.insert(Access::V(chunk[i]));
+    }
+
+    // One pass over the cone stream(s), grouped by cone vertex v.
+    em::Scanner<EdgeT> sa(cone_a);
+    em::Scanner<EdgeT> sb;
+    if (!same_cone) sb = em::Scanner<EdgeT>(cone_b);
+    std::vector<VertexId> g2, g3;  // Gamma_v split by role (u-side / w-side)
+    std::unordered_set<VertexId> g3_set;
+
+    while (sa.HasNext() || (!same_cone && sb.HasNext())) {
+      VertexId v;
+      if (!sa.HasNext()) {
+        v = Access::U(sb.Peek());
+      } else if (same_cone || !sb.HasNext()) {
+        v = Access::U(sa.Peek());
+      } else {
+        v = std::min(Access::U(sa.Peek()), Access::U(sb.Peek()));
+      }
+      g2.clear();
+      g3.clear();
+      while (sa.HasNext() && Access::U(sa.Peek()) == v) {
+        EdgeT e = sa.Next();
+        VertexId nbr = Access::V(e);
+        ctx.AddWork(1);
+        if (adj.count(nbr) != 0) g2.push_back(nbr);
+        if (same_cone && pivot_max_side.count(nbr) != 0) g3.push_back(nbr);
+      }
+      if (!same_cone) {
+        while (sb.HasNext() && Access::U(sb.Peek()) == v) {
+          EdgeT e = sb.Next();
+          VertexId nbr = Access::V(e);
+          ctx.AddWork(1);
+          if (pivot_max_side.count(nbr) != 0) g3.push_back(nbr);
+        }
+      }
+      if (g2.empty() || g3.empty()) continue;
+
+      g3_set.clear();
+      g3_set.insert(g3.begin(), g3.end());
+      for (VertexId u : g2) {
+        auto it = adj.find(u);
+        if (it == adj.end()) continue;
+        for (std::uint32_t i = it->second.first; i < it->second.second; ++i) {
+          VertexId w = Access::V(chunk[i]);
+          ctx.AddWork(1);
+          if (g3_set.count(w) != 0) {
+            sink.Emit(v, u, w);
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace trienum::core
+
+#endif  // TRIENUM_CORE_PIVOT_ENUM_H_

@@ -1,0 +1,53 @@
+#include "core/reference.h"
+
+#include <algorithm>
+
+#include "graph/host_graph.h"
+
+namespace trienum::core {
+namespace {
+
+// Intersects the two sorted forward lists, invoking fn(w) for every common
+// forward neighbour of both endpoints.
+template <typename Fn>
+void IntersectForward(const std::vector<graph::VertexId>& a,
+                      const std::vector<graph::VertexId>& b, Fn fn) {
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      fn(a[i]);
+      ++i;
+      ++j;
+    }
+  }
+}
+
+}  // namespace
+
+std::uint64_t CountTrianglesHost(const std::vector<graph::Edge>& edges) {
+  graph::HostGraph g(edges);
+  std::uint64_t count = 0;
+  for (const graph::Edge& e : g.CanonicalEdges()) {
+    IntersectForward(g.Forward(e.u), g.Forward(e.v),
+                     [&count](graph::VertexId) { ++count; });
+  }
+  return count;
+}
+
+std::vector<graph::Triangle> ListTrianglesHost(const std::vector<graph::Edge>& edges) {
+  graph::HostGraph g(edges);
+  std::vector<graph::Triangle> out;
+  for (const graph::Edge& e : g.CanonicalEdges()) {
+    IntersectForward(g.Forward(e.u), g.Forward(e.v), [&](graph::VertexId w) {
+      out.push_back(graph::Triangle{e.u, e.v, w});
+    });
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace trienum::core

@@ -1,0 +1,22 @@
+// Host-memory ground-truth triangle enumeration (compact-forward /
+// edge-iterator with sorted adjacency intersection). Used to verify every EM
+// algorithm; not itself part of the measured system.
+#ifndef TRIENUM_CORE_REFERENCE_H_
+#define TRIENUM_CORE_REFERENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace trienum::core {
+
+/// Number of triangles in the (arbitrary, possibly unnormalized) edge list.
+std::uint64_t CountTrianglesHost(const std::vector<graph::Edge>& edges);
+
+/// All triangles, each with a < b < c, sorted lexicographically.
+std::vector<graph::Triangle> ListTrianglesHost(const std::vector<graph::Edge>& edges);
+
+}  // namespace trienum::core
+
+#endif  // TRIENUM_CORE_REFERENCE_H_

@@ -1,0 +1,23 @@
+#include "core/sink.h"
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace trienum::core {
+
+void ChecksumSink::Emit(graph::VertexId a, graph::VertexId b, graph::VertexId c) {
+  TRIENUM_CHECK(a < b && b < c);
+  std::uint64_t key = Mix64((static_cast<std::uint64_t>(a) << 40) ^
+                            (static_cast<std::uint64_t>(b) << 20) ^ c);
+  ++count_;
+  sum_ += key;
+  xored_ ^= key;
+}
+
+std::uint64_t ChecksumSink::checksum() const {
+  // Mix the commutative sum before combining so that the two order-invariant
+  // digests cannot cancel (sum ^ xor of a single emission would always be 0).
+  return Mix64(sum_ + count_) ^ xored_;
+}
+
+}  // namespace trienum::core

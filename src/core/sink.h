@@ -1,0 +1,97 @@
+// Triangle emission interface.
+//
+// Following the paper's problem definition, algorithms do not *list*
+// triangles to external memory: for each triangle they make exactly one call
+// to emit(v1, v2, v3) (with v1 < v2 < v3) at a moment when all three edges
+// are present in internal memory. A sink decides what to do with the emission
+// (count it, checksum it, collect it, forward it to an application pipeline)
+// — this is the "pipelining" that makes enumeration cheaper than listing.
+#ifndef TRIENUM_CORE_SINK_H_
+#define TRIENUM_CORE_SINK_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace trienum::core {
+
+/// \brief Receiver of triangle emissions.
+class TriangleSink {
+ public:
+  virtual ~TriangleSink() = default;
+
+  /// Called exactly once per triangle, with a < b < c.
+  virtual void Emit(graph::VertexId a, graph::VertexId b, graph::VertexId c) = 0;
+};
+
+/// Counts emissions.
+class CountingSink : public TriangleSink {
+ public:
+  void Emit(graph::VertexId, graph::VertexId, graph::VertexId) override {
+    ++count_;
+  }
+  std::uint64_t count() const { return count_; }
+
+ private:
+  std::uint64_t count_ = 0;
+};
+
+/// Order-invariant checksum + count; cheap equality evidence on large runs.
+class ChecksumSink : public TriangleSink {
+ public:
+  void Emit(graph::VertexId a, graph::VertexId b, graph::VertexId c) override;
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t checksum() const;
+
+ private:
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;    // commutative sum of mixed keys
+  std::uint64_t xored_ = 0;  // commutative xor of mixed keys
+};
+
+/// Stores all triangles (tests / small inputs / applications).
+class CollectingSink : public TriangleSink {
+ public:
+  void Emit(graph::VertexId a, graph::VertexId b, graph::VertexId c) override {
+    triangles_.push_back(graph::Triangle{a, b, c});
+  }
+  const std::vector<graph::Triangle>& triangles() const { return triangles_; }
+  std::vector<graph::Triangle>& mutable_triangles() { return triangles_; }
+
+ private:
+  std::vector<graph::Triangle> triangles_;
+};
+
+/// Forwards to a callable (application pipelines, e.g. the 5NF join).
+class CallbackSink : public TriangleSink {
+ public:
+  using Fn = std::function<void(graph::VertexId, graph::VertexId, graph::VertexId)>;
+  explicit CallbackSink(Fn fn) : fn_(std::move(fn)) {}
+  void Emit(graph::VertexId a, graph::VertexId b, graph::VertexId c) override {
+    fn_(a, b, c);
+  }
+
+ private:
+  Fn fn_;
+};
+
+/// Duplicates every emission to two sinks.
+class TeeSink : public TriangleSink {
+ public:
+  TeeSink(TriangleSink* first, TriangleSink* second) : a_(first), b_(second) {}
+  void Emit(graph::VertexId a, graph::VertexId b, graph::VertexId c) override {
+    a_->Emit(a, b, c);
+    b_->Emit(a, b, c);
+  }
+
+ private:
+  TriangleSink* a_;
+  TriangleSink* b_;
+};
+
+}  // namespace trienum::core
+
+#endif  // TRIENUM_CORE_SINK_H_

@@ -1,0 +1,116 @@
+// Lemma 1: enumerate all triangles containing a given vertex x in
+// O(sort(E)) I/Os.
+//
+// Following the paper's proof: (i) one scan collects Gamma_x, the neighbours
+// of x; (ii) Gamma_x is sorted and merged against the lex-sorted edge list to
+// keep E_x, the edges whose smaller endpoint lies in Gamma_x; (iii) E_x is
+// re-sorted by larger endpoint and merged against Gamma_x again to keep
+// E'_x, the edges with *both* endpoints adjacent to x. Every edge
+// {u, w} in E'_x closes a triangle {x, u, w}.
+#ifndef TRIENUM_CORE_VERTEX_ENUM_H_
+#define TRIENUM_CORE_VERTEX_ENUM_H_
+
+#include <tuple>
+
+#include "em/array.h"
+#include "extsort/scan_ops.h"
+#include "extsort/sorter.h"
+#include "graph/types.h"
+
+namespace trienum::core {
+
+/// Neighbour record: vertex plus (for colored runs) its color.
+struct NeighborRec {
+  graph::VertexId v = 0;
+  std::uint32_t color = 0;
+};
+
+/// \brief Enumerates all triangles through `x` within `edges`.
+///
+/// Preconditions: `edges` is lex-sorted with u < v per edge (the §1.3
+/// canonical layout). For every closing edge {u, w} (u < w, both adjacent to
+/// x) calls `on_edge(u, w, cu, cw, cx)` where c* are endpoint colors (zero
+/// for uncolored edges). The *caller* orders the triple {x,u,w}, applies any
+/// properness filter, and emits. Costs O(sort(E)) I/Os.
+template <typename EdgeT, typename Sorter, typename Fn>
+void EnumerateTrianglesContaining(em::Context& ctx, em::Array<EdgeT> edges,
+                                  graph::VertexId x, Sorter sorter, Fn on_edge) {
+  using Access = graph::EdgeAccess<EdgeT>;
+  if (edges.size() < 3) return;
+
+  auto region = ctx.Region();
+
+  // (i) Gamma_x: neighbours of x (with their colors), then sort by id.
+  em::Array<NeighborRec> gamma = ctx.Alloc<NeighborRec>(edges.size());
+  em::Writer<NeighborRec> gw(gamma);
+  std::uint32_t x_color = 0;
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    EdgeT e = edges.Get(i);
+    if (Access::U(e) == x) {
+      gw.Push(NeighborRec{Access::V(e), Access::CV(e)});
+      x_color = Access::CU(e);
+    } else if (Access::V(e) == x) {
+      gw.Push(NeighborRec{Access::U(e), Access::CU(e)});
+      x_color = Access::CV(e);
+    }
+  }
+  em::Array<NeighborRec> g = gw.Written();
+  if (g.size() < 2) return;
+  sorter(ctx, g, [](const NeighborRec& a, const NeighborRec& b) {
+    return a.v < b.v;
+  });
+
+  // (ii) E_x: edges whose smaller endpoint is in Gamma_x (merge on u; the
+  // edge list is sorted by smaller endpoint already).
+  em::Array<EdgeT> ex = ctx.Alloc<EdgeT>(edges.size());
+  em::Writer<EdgeT> exw(ex);
+  {
+    em::Scanner<NeighborRec> gs(g);
+    NeighborRec cur = gs.Next();
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      EdgeT e = edges.Get(i);
+      while (cur.v < Access::U(e) && gs.HasNext()) cur = gs.Next();
+      if (cur.v == Access::U(e)) exw.Push(e);
+    }
+  }
+  em::Array<EdgeT> exv = exw.Written();
+  if (exv.empty()) return;
+
+  // (iii) E'_x: of those, edges whose larger endpoint is also in Gamma_x
+  // (re-sort by larger endpoint, merge on v).
+  sorter(ctx, exv, graph::ByMaxLess{});
+  {
+    em::Scanner<NeighborRec> gs(g);
+    NeighborRec cur = gs.Next();
+    for (std::size_t i = 0; i < exv.size(); ++i) {
+      EdgeT e = exv.Get(i);
+      while (cur.v < Access::V(e) && gs.HasNext()) cur = gs.Next();
+      if (cur.v == Access::V(e)) {
+        on_edge(Access::U(e), Access::V(e), Access::CU(e), Access::CV(e), x_color);
+        ctx.AddWork(1);
+      }
+    }
+  }
+}
+
+/// Orders the triple {x, u, w} (u < w, x distinct) as a < b < c.
+inline graph::Triangle OrderTriple(graph::VertexId x, graph::VertexId u,
+                                   graph::VertexId w) {
+  if (x < u) return graph::Triangle{x, u, w};
+  if (x < w) return graph::Triangle{u, x, w};
+  return graph::Triangle{u, w, x};
+}
+
+/// Orders the colored triple consistently with OrderTriple, returning the
+/// triangle and its per-position colors.
+inline std::tuple<graph::Triangle, std::uint32_t, std::uint32_t, std::uint32_t>
+OrderColoredTriple(graph::VertexId x, std::uint32_t cx, graph::VertexId u,
+                   std::uint32_t cu, graph::VertexId w, std::uint32_t cw) {
+  if (x < u) return {graph::Triangle{x, u, w}, cx, cu, cw};
+  if (x < w) return {graph::Triangle{u, x, w}, cu, cx, cw};
+  return {graph::Triangle{u, w, x}, cu, cw, cx};
+}
+
+}  // namespace trienum::core
+
+#endif  // TRIENUM_CORE_VERTEX_ENUM_H_

@@ -1,0 +1,159 @@
+// Typed views over device storage with I/O-accounted element access, plus
+// streaming Scanner/Writer helpers used throughout the algorithms.
+#ifndef TRIENUM_EM_ARRAY_H_
+#define TRIENUM_EM_ARRAY_H_
+
+#include <cstring>
+#include <type_traits>
+
+#include "common/status.h"
+#include "em/context.h"
+
+namespace trienum::em {
+
+/// \brief A fixed-size array of trivially-copyable records on the device.
+///
+/// Every element access touches the covering cache lines, so reading or
+/// writing an Array is exactly what costs I/Os in this library. Records are
+/// padded to whole words; an Edge (two 32-bit ids) is one word, matching the
+/// paper's "an edge requires one memory word" accounting.
+template <typename T>
+class Array {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "EM arrays hold trivially copyable records");
+
+ public:
+  /// Words occupied by one record.
+  static constexpr std::size_t kWordsPer = (sizeof(T) + sizeof(Word) - 1) / sizeof(Word);
+
+  Array() = default;
+  Array(Context* ctx, Addr base, std::size_t n) : ctx_(ctx), base_(base), n_(n) {}
+
+  std::size_t size() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  Addr base() const { return base_; }
+  Context* context() const { return ctx_; }
+
+  /// Word address of element `i` (for witness/residency checks).
+  Addr AddrOf(std::size_t i) const { return base_ + i * kWordsPer; }
+
+  /// Reads element `i` (counts I/O on a cache miss).
+  T Get(std::size_t i) const {
+    TRIENUM_CHECK(i < n_);
+    Addr a = base_ + i * kWordsPer;
+    ctx_->TouchRange(a, kWordsPer, /*write=*/false);
+    T out;
+    std::memcpy(static_cast<void*>(&out), static_cast<const void*>(ctx_->device().raw(a)), sizeof(T));
+    return out;
+  }
+
+  /// Writes element `i` (counts I/O on a cache miss; sequential aligned
+  /// writes are charged as pure output).
+  void Set(std::size_t i, const T& v) {
+    TRIENUM_CHECK(i < n_);
+    Addr a = base_ + i * kWordsPer;
+    ctx_->TouchRange(a, kWordsPer, /*write=*/true);
+    std::memcpy(static_cast<void*>(ctx_->device().raw(a)), static_cast<const void*>(&v), sizeof(T));
+  }
+
+  /// Subrange view [off, off+len).
+  Array Slice(std::size_t off, std::size_t len) const {
+    TRIENUM_CHECK(off + len <= n_);
+    return Array(ctx_, base_ + off * kWordsPer, len);
+  }
+
+  /// Bulk read of [begin, end) into a host buffer; touches each covered line
+  /// once (simulated DMA into internal memory).
+  void ReadTo(std::size_t begin, std::size_t end, T* out) const {
+    TRIENUM_CHECK(begin <= end && end <= n_);
+    if (begin == end) return;
+    Addr a = base_ + begin * kWordsPer;
+    std::size_t words = (end - begin) * kWordsPer;
+    ctx_->TouchRange(a, words, /*write=*/false);
+    for (std::size_t i = begin; i < end; ++i) {
+      std::memcpy(static_cast<void*>(out + (i - begin)),
+                  static_cast<const void*>(ctx_->device().raw(base_ + i * kWordsPer)),
+                  sizeof(T));
+    }
+  }
+
+  /// Bulk write of a host buffer into [begin, end).
+  void WriteFrom(std::size_t begin, std::size_t end, const T* in) {
+    TRIENUM_CHECK(begin <= end && end <= n_);
+    if (begin == end) return;
+    Addr a = base_ + begin * kWordsPer;
+    std::size_t words = (end - begin) * kWordsPer;
+    ctx_->TouchRange(a, words, /*write=*/true);
+    for (std::size_t i = begin; i < end; ++i) {
+      std::memcpy(static_cast<void*>(ctx_->device().raw(base_ + i * kWordsPer)),
+                  static_cast<const void*>(in + (i - begin)), sizeof(T));
+    }
+  }
+
+ private:
+  Context* ctx_ = nullptr;
+  Addr base_ = 0;
+  std::size_t n_ = 0;
+};
+
+template <typename T>
+Array<T> Context::Alloc(std::size_t n) {
+  Addr base = device_.Allocate(n * Array<T>::kWordsPer, cfg_.block_words);
+  return Array<T>(this, base, n);
+}
+
+/// \brief Forward sequential reader over an Array (one scan = n/B reads).
+template <typename T>
+class Scanner {
+ public:
+  Scanner() = default;
+  explicit Scanner(Array<T> a) : a_(a) {}
+  Scanner(Array<T> a, std::size_t begin, std::size_t end)
+      : a_(a.Slice(begin, end - begin)) {}
+
+  bool HasNext() const { return pos_ < a_.size(); }
+  std::size_t position() const { return pos_; }
+  std::size_t remaining() const { return a_.size() - pos_; }
+
+  /// Reads the current element without advancing.
+  T Peek() const { return a_.Get(pos_); }
+
+  /// Reads and advances.
+  T Next() { return a_.Get(pos_++); }
+
+  void Skip() { ++pos_; }
+
+ private:
+  Array<T> a_;
+  std::size_t pos_ = 0;
+};
+
+/// \brief Forward sequential writer into a pre-allocated Array.
+template <typename T>
+class Writer {
+ public:
+  Writer() = default;
+  explicit Writer(Array<T> a) : a_(a) {}
+
+  void Push(const T& v) { a_.Set(pos_++, v); }
+  std::size_t count() const { return pos_; }
+
+  /// View of everything written so far.
+  Array<T> Written() const { return a_.Slice(0, pos_); }
+
+ private:
+  Array<T> a_;
+  std::size_t pos_ = 0;
+};
+
+/// Copies `src` into a fresh array allocated from `ctx` (sequential scan).
+template <typename T>
+Array<T> CloneArray(Context& ctx, const Array<T>& src) {
+  Array<T> dst = ctx.Alloc<T>(src.size());
+  for (std::size_t i = 0; i < src.size(); ++i) dst.Set(i, src.Get(i));
+  return dst;
+}
+
+}  // namespace trienum::em
+
+#endif  // TRIENUM_EM_ARRAY_H_

@@ -1,0 +1,137 @@
+#include "em/cache.h"
+
+#include <algorithm>
+
+namespace trienum::em {
+
+Cache::Cache(std::size_t memory_words, std::size_t block_words)
+    : memory_words_(memory_words), block_words_(block_words) {
+  TRIENUM_CHECK(block_words_ > 0);
+  num_slots_ = std::max<std::size_t>(1, memory_words_ / block_words_);
+  slots_.resize(num_slots_);
+  for (std::size_t i = 0; i < num_slots_; ++i) {
+    slots_[i].line = -1;
+    slots_[i].dirty = false;
+    slots_[i].next = static_cast<std::int32_t>(i) + 1;
+    slots_[i].prev = -1;
+  }
+  slots_[num_slots_ - 1].next = -1;
+  free_head_ = 0;
+}
+
+std::int32_t Cache::Lookup(std::int64_t line) const {
+  if (static_cast<std::size_t>(line) >= where_.size()) return -1;
+  return where_[static_cast<std::size_t>(line)];
+}
+
+void Cache::Unlink(std::int32_t s) {
+  Slot& slot = slots_[s];
+  if (slot.prev >= 0) slots_[slot.prev].next = slot.next;
+  if (slot.next >= 0) slots_[slot.next].prev = slot.prev;
+  if (head_ == s) head_ = slot.next;
+  if (tail_ == s) tail_ = slot.prev;
+}
+
+void Cache::PushFront(std::int32_t s) {
+  slots_[s].prev = -1;
+  slots_[s].next = head_;
+  if (head_ >= 0) slots_[head_].prev = s;
+  head_ = s;
+  if (tail_ < 0) tail_ = s;
+}
+
+void Cache::MoveToFront(std::int32_t s) {
+  if (head_ == s) return;
+  Unlink(s);
+  PushFront(s);
+}
+
+std::int32_t Cache::GrabSlot() {
+  if (free_head_ >= 0) {
+    std::int32_t s = free_head_;
+    free_head_ = slots_[s].next;
+    return s;
+  }
+  // Evict the least-recently-used line.
+  std::int32_t s = tail_;
+  TRIENUM_CHECK(s >= 0);
+  Unlink(s);
+  if (slots_[s].dirty) ++stats_.block_writes;
+  where_[static_cast<std::size_t>(slots_[s].line)] = -1;
+  slots_[s].line = -1;
+  slots_[s].dirty = false;
+  return s;
+}
+
+void Cache::TouchLine(std::int64_t line, bool write, bool aligned_write) {
+  if (line == last_line_ && head_ >= 0 && slots_[head_].line == line) {
+    // Fast path: streaming access to the MRU line.
+    slots_[head_].dirty |= write;
+    ++stats_.cache_hits;
+    return;
+  }
+  std::int32_t s = Lookup(line);
+  if (s >= 0) {
+    MoveToFront(s);
+    slots_[s].dirty |= write;
+    ++stats_.cache_hits;
+  } else {
+    s = GrabSlot();
+    if (static_cast<std::size_t>(line) >= where_.size()) {
+      where_.resize(std::max<std::size_t>(where_.size() * 2,
+                                          static_cast<std::size_t>(line) + 1),
+                    -1);
+    }
+    where_[static_cast<std::size_t>(line)] = s;
+    slots_[s].line = line;
+    if (write && aligned_write) {
+      // Fresh full-line output: allocate without fetching.
+      slots_[s].dirty = true;
+    } else {
+      ++stats_.block_reads;
+      slots_[s].dirty = write;
+    }
+    PushFront(s);
+  }
+  last_line_ = line;
+}
+
+void Cache::TouchRange(Addr addr, std::size_t words, bool write) {
+  if (!counting_ || words == 0) return;
+  std::int64_t first = static_cast<std::int64_t>(addr / block_words_);
+  std::int64_t last = static_cast<std::int64_t>((addr + words - 1) / block_words_);
+  for (std::int64_t line = first; line <= last; ++line) {
+    bool aligned = write && (line > first || addr % block_words_ == 0);
+    TouchLine(line, write, aligned);
+  }
+}
+
+void Cache::FlushAll() {
+  for (std::int32_t s = head_; s >= 0;) {
+    std::int32_t next = slots_[s].next;
+    if (slots_[s].dirty && counting_) ++stats_.block_writes;
+    where_[static_cast<std::size_t>(slots_[s].line)] = -1;
+    slots_[s].line = -1;
+    slots_[s].dirty = false;
+    slots_[s].prev = -1;
+    slots_[s].next = free_head_;
+    free_head_ = s;
+    s = next;
+  }
+  head_ = tail_ = -1;
+  last_line_ = -1;
+}
+
+void Cache::Reset() {
+  bool saved = counting_;
+  counting_ = false;
+  FlushAll();
+  counting_ = saved;
+  stats_ = IoStats{};
+}
+
+bool Cache::IsResident(Addr addr) const {
+  return Lookup(static_cast<std::int64_t>(addr / block_words_)) >= 0;
+}
+
+}  // namespace trienum::em

@@ -1,0 +1,88 @@
+// LRU internal-memory simulator: the I/O-accounting heart of the library.
+//
+// Internal memory holds M/B lines of B words. Each word touch either hits a
+// resident line or faults it in (one block read); evicting a dirty line costs
+// one block write. The paper's cache-oblivious analysis is stated for an
+// optimal replacement policy and transfers to LRU by [Frigo et al. 2012,
+// Lemma 6.4]; measuring under LRU is therefore the standard way to evaluate
+// a cache-oblivious algorithm at arbitrary (M, B).
+#ifndef TRIENUM_EM_CACHE_H_
+#define TRIENUM_EM_CACHE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "em/defs.h"
+
+namespace trienum::em {
+
+/// \brief LRU cache of M words in B-word lines with I/O counting.
+///
+/// Writes that start at a line boundary allocate the line without fetching it
+/// (a purely sequential output stream costs n/B writes and no reads, matching
+/// the EM model's scan semantics); any other miss costs a block read.
+class Cache {
+ public:
+  Cache(std::size_t memory_words, std::size_t block_words);
+
+  /// Registers a touch of `words` consecutive words starting at `addr`.
+  void TouchRange(Addr addr, std::size_t words, bool write);
+
+  /// Single-word convenience wrapper.
+  void Touch(Addr addr, bool write) { TouchRange(addr, 1, write); }
+
+  /// Writes back all dirty lines (counting block writes) and empties the
+  /// cache. Call at the end of a measured run so pending output is charged.
+  void FlushAll();
+
+  /// Empties the cache and zeroes all counters; the next run starts cold.
+  void Reset();
+
+  /// Enables/disables accounting. While disabled, touches are no-ops; used
+  /// when building inputs or verifying outputs outside the measured region.
+  void set_counting(bool on) { counting_ = on; }
+  bool counting() const { return counting_; }
+
+  const IoStats& stats() const { return stats_; }
+
+  std::size_t memory_words() const { return memory_words_; }
+  std::size_t block_words() const { return block_words_; }
+  std::size_t num_lines() const { return num_slots_; }
+
+  /// True if the line containing `addr` is resident (for witness checks).
+  bool IsResident(Addr addr) const;
+
+ private:
+  struct Slot {
+    std::int32_t prev;
+    std::int32_t next;
+    std::int64_t line;  // line id, or -1 if free
+    bool dirty;
+  };
+
+  void TouchLine(std::int64_t line, bool write, bool aligned_write);
+  std::int32_t GrabSlot();           // free slot or evict LRU tail
+  void MoveToFront(std::int32_t s);
+  void PushFront(std::int32_t s);
+  void Unlink(std::int32_t s);
+  std::int32_t Lookup(std::int64_t line) const;
+
+  std::size_t memory_words_;
+  std::size_t block_words_;
+  std::size_t num_slots_;
+
+  std::vector<Slot> slots_;
+  std::vector<std::int32_t> where_;  // line id -> slot or -1
+  std::int32_t head_ = -1;           // MRU
+  std::int32_t tail_ = -1;           // LRU
+  std::int32_t free_head_ = -1;
+  std::int64_t last_line_ = -1;      // fast path for streaming access
+
+  bool counting_ = true;
+  IoStats stats_;
+};
+
+}  // namespace trienum::em
+
+#endif  // TRIENUM_EM_CACHE_H_

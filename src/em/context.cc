@@ -1,0 +1,43 @@
+#include "em/context.h"
+
+namespace trienum::em {
+
+Context::Context(const EmConfig& cfg)
+    : cfg_(cfg), cache_(cfg.memory_words, cfg.block_words) {
+  TRIENUM_CHECK_MSG(cfg.memory_words >= cfg.block_words,
+                    "internal memory must hold at least one block");
+}
+
+ScratchLease::ScratchLease(Context* ctx, std::size_t words)
+    : ctx_(ctx), words_(words) {
+  ctx_->scratch_used_ += words_;
+  TRIENUM_CHECK_MSG(ctx_->scratch_used_ <= ctx_->memory_words(),
+                    "host scratch exceeds internal memory budget M");
+}
+
+ScratchLease::~ScratchLease() {
+  if (ctx_ != nullptr) ctx_->scratch_used_ -= words_;
+}
+
+ScratchLease::ScratchLease(ScratchLease&& o) noexcept
+    : ctx_(o.ctx_), words_(o.words_) {
+  o.ctx_ = nullptr;
+  o.words_ = 0;
+}
+
+ScratchLease& ScratchLease::operator=(ScratchLease&& o) noexcept {
+  if (this != &o) {
+    if (ctx_ != nullptr) ctx_->scratch_used_ -= words_;
+    ctx_ = o.ctx_;
+    words_ = o.words_;
+    o.ctx_ = nullptr;
+    o.words_ = 0;
+  }
+  return *this;
+}
+
+DeviceRegion::DeviceRegion(Context* ctx) : ctx_(ctx), mark_(ctx->device().Mark()) {}
+
+DeviceRegion::~DeviceRegion() { ctx_->device().Release(mark_); }
+
+}  // namespace trienum::em

@@ -1,0 +1,128 @@
+// Execution context binding together the simulated device, the LRU cache,
+// the hierarchy parameters (M, B), scratch-memory accounting and the work
+// counter. Every EM algorithm in the library takes a Context&.
+#ifndef TRIENUM_EM_CONTEXT_H_
+#define TRIENUM_EM_CONTEXT_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/status.h"
+#include "em/cache.h"
+#include "em/defs.h"
+#include "em/device.h"
+
+namespace trienum::em {
+
+class Context;
+
+// Typed device array; defined in array.h.
+template <typename T>
+class Array;
+
+/// \brief RAII accounting of host-side working buffers ("internal memory").
+///
+/// Cache-aware algorithms stage data in buffers of at most M words (run
+/// formation, pivot chunks, merge heaps). Each such buffer takes a lease; the
+/// context checks that the total leased at any instant never exceeds M, which
+/// enforces the model's internal-memory budget. Cache-oblivious algorithms
+/// lease only O(1)-sized buffers.
+class ScratchLease {
+ public:
+  ScratchLease() = default;
+  ScratchLease(Context* ctx, std::size_t words);
+  ~ScratchLease();
+  ScratchLease(ScratchLease&& o) noexcept;
+  ScratchLease& operator=(ScratchLease&& o) noexcept;
+  ScratchLease(const ScratchLease&) = delete;
+  ScratchLease& operator=(const ScratchLease&) = delete;
+
+  std::size_t words() const { return words_; }
+
+ private:
+  Context* ctx_ = nullptr;
+  std::size_t words_ = 0;
+};
+
+/// \brief RAII region of device allocations, popped on destruction.
+class DeviceRegion {
+ public:
+  explicit DeviceRegion(Context* ctx);
+  ~DeviceRegion();
+  DeviceRegion(const DeviceRegion&) = delete;
+  DeviceRegion& operator=(const DeviceRegion&) = delete;
+
+ private:
+  Context* ctx_;
+  Addr mark_;
+};
+
+/// \brief Simulation context: device + cache + (M, B) + counters.
+class Context {
+ public:
+  explicit Context(const EmConfig& cfg);
+
+  Device& device() { return device_; }
+  Cache& cache() { return cache_; }
+  const Cache& cache() const { return cache_; }
+
+  /// Registers a word-range touch with the primary cache and, if attached,
+  /// the passive probe cache. All em::Array accesses route through here.
+  void TouchRange(Addr addr, std::size_t words, bool write) {
+    cache_.TouchRange(addr, words, write);
+    if (probe_ != nullptr && cache_.counting()) {
+      probe_->TouchRange(addr, words, write);
+    }
+  }
+
+  /// Attaches a second, passive LRU cache observing the same access stream —
+  /// the paper's multilevel-cache corollary (a cache-oblivious algorithm is
+  /// simultaneously optimal at every level of an LRU hierarchy) becomes
+  /// directly measurable: one run, two levels, two miss counts.
+  void AttachProbe(std::size_t memory_words, std::size_t block_words) {
+    probe_ = std::make_unique<Cache>(memory_words, block_words);
+  }
+  Cache* probe() { return probe_.get(); }
+
+  /// Internal memory size M in words. Only cache-aware algorithms may
+  /// consult this.
+  std::size_t memory_words() const { return cfg_.memory_words; }
+
+  /// Block size B in words. Only cache-aware algorithms may consult this.
+  std::size_t block_words() const { return cfg_.block_words; }
+
+  const EmConfig& config() const { return cfg_; }
+
+  /// Allocates `n` elements of T on the device, block-aligned.
+  /// (Declared here; defined in array.h to avoid a cyclic include.)
+  template <typename T>
+  Array<T> Alloc(std::size_t n);
+
+  /// Opens a device allocation region (freed when the returned object dies).
+  DeviceRegion Region() { return DeviceRegion(this); }
+
+  /// Leases `words` of host scratch; aborts if the total would exceed M.
+  ScratchLease LeaseScratch(std::size_t words) { return ScratchLease(this, words); }
+  std::size_t scratch_in_use() const { return scratch_used_; }
+
+  /// Internal-work counter (RAM operations), for the paper's O(E^{3/2}) work
+  /// optimality remark.
+  void AddWork(std::uint64_t n) { work_ += n; }
+  std::uint64_t work() const { return work_; }
+  void ResetWork() { work_ = 0; }
+
+ private:
+  friend class ScratchLease;
+  friend class DeviceRegion;
+
+  EmConfig cfg_;
+  Device device_;
+  Cache cache_;
+  std::unique_ptr<Cache> probe_;
+  std::size_t scratch_used_ = 0;
+  std::uint64_t work_ = 0;
+};
+
+}  // namespace trienum::em
+
+#endif  // TRIENUM_EM_CONTEXT_H_

@@ -1,0 +1,49 @@
+// Basic definitions for the external-memory (EM) model simulator.
+//
+// The simulator realizes the model of Aggarwal & Vitter used by the paper: an
+// internal memory of M words, an external memory (the Device) of unbounded
+// size, and transfers in blocks of B consecutive words. The I/O complexity of
+// an algorithm is the number of block transfers it performs, which we measure
+// as misses/evictions of an LRU cache of M words organized in B-word lines.
+#ifndef TRIENUM_EM_DEFS_H_
+#define TRIENUM_EM_DEFS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace trienum::em {
+
+/// One machine word of external memory. The paper assumes a vertex or an edge
+/// occupies one word; our Edge type (two 32-bit vertex ids) is exactly one.
+using Word = std::uint64_t;
+
+/// Word address in the device's flat address space.
+using Addr = std::uint64_t;
+
+/// Parameters of the simulated memory hierarchy.
+struct EmConfig {
+  /// Internal memory size M, in words.
+  std::size_t memory_words = std::size_t{1} << 14;
+  /// Block (transfer unit) size B, in words.
+  std::size_t block_words = 64;
+  /// Master seed for all randomized components run under this context.
+  std::uint64_t seed = 0x5117E57121ULL;
+};
+
+/// Counters of simulated block transfers.
+struct IoStats {
+  std::uint64_t block_reads = 0;    ///< lines fetched from external memory
+  std::uint64_t block_writes = 0;   ///< dirty lines written back
+  std::uint64_t cache_hits = 0;     ///< word touches served from internal memory
+
+  std::uint64_t total_ios() const { return block_reads + block_writes; }
+
+  IoStats operator-(const IoStats& o) const {
+    return IoStats{block_reads - o.block_reads, block_writes - o.block_writes,
+                   cache_hits - o.cache_hits};
+  }
+};
+
+}  // namespace trienum::em
+
+#endif  // TRIENUM_EM_DEFS_H_

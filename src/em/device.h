@@ -1,0 +1,59 @@
+// The simulated external memory ("disk"): a flat, word-addressable store with
+// stack-discipline (region) allocation.
+#ifndef TRIENUM_EM_DEVICE_H_
+#define TRIENUM_EM_DEVICE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "em/defs.h"
+
+namespace trienum::em {
+
+/// \brief Unbounded external storage backing all em::Array allocations.
+///
+/// Allocation is a bump pointer with LIFO regions: callers take a Mark,
+/// allocate freely, and Release back to the mark when a phase (e.g. a
+/// recursive subproblem) completes. This mirrors how the paper bounds disk
+/// usage to O(E) words: subproblem inputs are freed on return.
+class Device {
+ public:
+  Device() = default;
+
+  /// Allocates `words` words aligned to `align` words; returns the base
+  /// address. Alignment to the block size keeps distinct arrays from sharing
+  /// a cache line, so I/O accounting never charges one array for another's
+  /// traffic.
+  Addr Allocate(std::size_t words, std::size_t align);
+
+  /// Current top of the allocation stack, usable as a region mark.
+  Addr Mark() const { return top_; }
+
+  /// Pops every allocation made since `mark` was taken.
+  void Release(Addr mark);
+
+  /// Direct pointer into backing storage (for simulated DMA). Valid only
+  /// until the next Allocate.
+  Word* raw(Addr a) { return storage_.data() + a; }
+  const Word* raw(Addr a) const { return storage_.data() + a; }
+
+  /// Words currently allocated.
+  std::size_t allocated_words() const { return top_; }
+
+  /// High-water mark of allocated words over the device's lifetime; the
+  /// paper's "O(E) words on disk" claims are checked against this.
+  std::size_t peak_words() const { return peak_; }
+
+  /// Resets the peak-tracking counter to the current allocation level.
+  void ResetPeak() { peak_ = top_; }
+
+ private:
+  std::vector<Word> storage_;
+  Addr top_ = 0;
+  Addr peak_ = 0;
+};
+
+}  // namespace trienum::em
+
+#endif  // TRIENUM_EM_DEVICE_H_

@@ -1,0 +1,122 @@
+// Cache-aware external merge sort: run formation with M/2-word loads followed
+// by (M/B)-way merge passes. This is the sort(n) = O((n/B) log_{M/B}(n/B))
+// primitive the paper's cache-aware algorithms (Theorems 2 and 4) rely on.
+#ifndef TRIENUM_EXTSORT_EXT_MERGE_SORT_H_
+#define TRIENUM_EXTSORT_EXT_MERGE_SORT_H_
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "em/array.h"
+#include "extsort/scan_ops.h"
+
+namespace trienum::extsort {
+
+/// Predicted I/O cost of sorting n records of `words_per` words each:
+/// ceil(n*w/B) * (1 + number of merge passes) * 2 (read+write per pass).
+/// Used by tests and benches to sanity-check the substrate.
+inline double SortIoBound(std::size_t n, std::size_t words_per, std::size_t m,
+                          std::size_t b) {
+  if (n <= 1) return 0;
+  double nw = static_cast<double>(n) * static_cast<double>(words_per);
+  double runs = std::max(1.0, nw / (static_cast<double>(m) / 2));
+  double fan = std::max(2.0, static_cast<double>(m) / (2.0 * b));
+  double passes = 1.0;
+  while (runs > 1.0) {
+    runs /= fan;
+    passes += 1.0;
+  }
+  return 2.0 * passes * (nw / static_cast<double>(b) + 1.0);
+}
+
+/// \brief Sorts `data` in place with a cache-aware multiway external merge
+/// sort.
+///
+/// Internal-memory usage: one run buffer of at most M/2 words during run
+/// formation, and during merging one (value, run) heap of fan-in
+/// k = max(2, M/(2B)) entries; both are accounted via scratch leases.
+template <typename T, typename Less>
+void ExternalMergeSort(em::Context& ctx, em::Array<T> data, Less less) {
+  const std::size_t n = data.size();
+  if (n <= 1) return;
+  const std::size_t words_per = em::Array<T>::kWordsPer;
+
+  auto region = ctx.Region();
+
+  // --- Run formation -------------------------------------------------------
+  const std::size_t run_items =
+      std::max<std::size_t>(1, (ctx.memory_words() / 2) / words_per);
+  em::Array<T> ping = ctx.Alloc<T>(n);
+  {
+    em::ScratchLease lease = ctx.LeaseScratch(run_items * words_per);
+    std::vector<T> buf(std::min(run_items, n));
+    for (std::size_t lo = 0; lo < n; lo += run_items) {
+      std::size_t hi = std::min(n, lo + run_items);
+      data.ReadTo(lo, hi, buf.data());
+      std::sort(buf.begin(), buf.begin() + (hi - lo), less);
+      ctx.AddWork((hi - lo) * 4);
+      ping.WriteFrom(lo, hi, buf.data());
+    }
+  }
+
+  // Run boundaries (host bookkeeping, O(n/run_items) words: this is metadata
+  // of the same order as the number of runs, standard for EM sorting).
+  std::vector<std::pair<std::size_t, std::size_t>> runs;
+  for (std::size_t lo = 0; lo < n; lo += run_items) {
+    runs.emplace_back(lo, std::min(n, lo + run_items));
+  }
+
+  const std::size_t fan =
+      std::max<std::size_t>(2, ctx.memory_words() / (2 * ctx.block_words()));
+
+  em::Array<T> pong = runs.size() > 1 ? ctx.Alloc<T>(n) : em::Array<T>();
+  em::Array<T> src = ping;
+  // --- Merge passes ---------------------------------------------------------
+  while (runs.size() > 1) {
+    std::vector<std::pair<std::size_t, std::size_t>> next_runs;
+    em::Writer<T> out(pong);
+    for (std::size_t g = 0; g < runs.size(); g += fan) {
+      std::size_t g_end = std::min(runs.size(), g + fan);
+      std::size_t out_lo = out.count();
+
+      em::ScratchLease lease = ctx.LeaseScratch((g_end - g) * (words_per + 2));
+      std::vector<em::Scanner<T>> streams;
+      streams.reserve(g_end - g);
+      for (std::size_t r = g; r < g_end; ++r) {
+        streams.emplace_back(src, runs[r].first, runs[r].second);
+      }
+      // (element, stream) min-heap.
+      auto heap_less = [&less](const std::pair<T, std::size_t>& a,
+                               const std::pair<T, std::size_t>& b) {
+        return less(b.first, a.first);  // max-heap inverted
+      };
+      std::vector<std::pair<T, std::size_t>> heap;
+      for (std::size_t s = 0; s < streams.size(); ++s) {
+        if (streams[s].HasNext()) heap.emplace_back(streams[s].Next(), s);
+      }
+      std::make_heap(heap.begin(), heap.end(), heap_less);
+      while (!heap.empty()) {
+        std::pop_heap(heap.begin(), heap.end(), heap_less);
+        auto [v, s] = heap.back();
+        heap.pop_back();
+        out.Push(v);
+        ctx.AddWork(4);
+        if (streams[s].HasNext()) {
+          heap.emplace_back(streams[s].Next(), s);
+          std::push_heap(heap.begin(), heap.end(), heap_less);
+        }
+      }
+      next_runs.emplace_back(out_lo, out.count());
+    }
+    runs.swap(next_runs);
+    std::swap(src, pong);
+  }
+
+  // Copy the final run back into `data` unless it is already there.
+  if (src.base() != data.base()) Copy(src, data);
+}
+
+}  // namespace trienum::extsort
+
+#endif  // TRIENUM_EXTSORT_EXT_MERGE_SORT_H_

@@ -1,0 +1,242 @@
+// Cache-oblivious lazy funnelsort (Brodal & Fagerberg), the sort primitive of
+// the paper's Theorem 1 algorithm.
+//
+// Sorting splits the input into ~n^(1/3) segments of size ~n^(2/3), sorts
+// them recursively, and merges them with a k-funnel: a binary tree of lazy
+// binary mergers in which the buffer hanging under a node of height h holds
+// 2^(ceil(3h/2)) elements, so a subtree over j inputs owns Theta(j^(3/2))
+// buffer space. Buffers and merger state live on the simulated device and are
+// laid out in DFS order (each subtree contiguous), so the recursive-locality
+// argument behind the O((n/B) log_{M/B}(n/B)) bound applies under the LRU
+// cache simulator. No M- or B-dependent constant appears anywhere below.
+#ifndef TRIENUM_EXTSORT_FUNNEL_SORT_H_
+#define TRIENUM_EXTSORT_FUNNEL_SORT_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "em/array.h"
+#include "extsort/scan_ops.h"
+
+namespace trienum::extsort {
+
+/// Size below which a segment is sorted with an O(1)-sized host buffer.
+inline constexpr std::size_t kFunnelBaseSize = 64;
+
+namespace internal {
+
+/// Merger-tree node, resident on the device so that funnel traffic is
+/// charged I/Os like any other data structure.
+struct FunnelNode {
+  std::int32_t left = -1;    // child node indices; -1 marks a leaf
+  std::int32_t right = -1;
+  std::uint32_t buf_off = 0;  // offset of this node's buffer in the pool
+  std::uint32_t buf_cap = 0;
+  std::uint32_t head = 0;     // read cursor within the buffer
+  std::uint32_t tail = 0;     // fill cursor within the buffer
+  std::uint32_t seg_pos = 0;  // leaves: cursor into the input segment
+  std::uint32_t seg_end = 0;
+  std::uint32_t exhausted = 0;
+  std::uint32_t height = 0;
+};
+
+inline std::uint32_t FunnelBufferCap(std::uint32_t height) {
+  // 2^(ceil(3h/2)); height 1 -> 4, 2 -> 8, 3 -> 32, 4 -> 64, 5 -> 256 ...
+  return std::uint32_t{1} << ((3 * height + 1) / 2);
+}
+
+/// Builds the merger tree over `num_leaves` (power of two) leaves in
+/// pre-order (DFS), so every subtree occupies a contiguous index range.
+/// Returns the index of the subtree root.
+inline std::int32_t BuildFunnelTree(std::vector<FunnelNode>& nodes,
+                                    std::uint32_t leaves_below,
+                                    std::uint32_t& next_leaf,
+                                    const std::vector<std::pair<std::size_t, std::size_t>>& segs) {
+  std::int32_t idx = static_cast<std::int32_t>(nodes.size());
+  nodes.emplace_back();
+  if (leaves_below == 1) {
+    std::uint32_t leaf = next_leaf++;
+    FunnelNode& nd = nodes[idx];
+    if (leaf < segs.size()) {
+      nd.seg_pos = static_cast<std::uint32_t>(segs[leaf].first);
+      nd.seg_end = static_cast<std::uint32_t>(segs[leaf].second);
+    }
+    nd.height = 0;
+    return idx;
+  }
+  std::int32_t l = BuildFunnelTree(nodes, leaves_below / 2, next_leaf, segs);
+  std::int32_t r = BuildFunnelTree(nodes, leaves_below / 2, next_leaf, segs);
+  FunnelNode& nd = nodes[idx];
+  nd.left = l;
+  nd.right = r;
+  std::uint32_t h = 1;
+  for (std::uint32_t lb = leaves_below; lb > 2; lb /= 2) ++h;
+  nd.height = h;
+  nd.buf_cap = FunnelBufferCap(h);
+  return idx;
+}
+
+/// \brief Lazy k-funnel merging `segs` (sorted subranges of `input`) into
+/// `out`.
+template <typename T, typename Less>
+class FunnelMerger {
+ public:
+  FunnelMerger(em::Context& ctx, em::Array<T> input,
+               const std::vector<std::pair<std::size_t, std::size_t>>& segs,
+               Less less)
+      : ctx_(ctx), input_(input), less_(less) {
+    std::uint32_t k = 1;
+    while (k < segs.size()) k *= 2;
+    std::vector<FunnelNode> host_nodes;
+    std::uint32_t next_leaf = 0;
+    BuildFunnelTree(host_nodes, k, next_leaf, segs);
+    // Assign buffer offsets in node (pre-)order: subtree-contiguous layout.
+    std::uint32_t pool_elems = 0;
+    for (FunnelNode& nd : host_nodes) {
+      nd.buf_off = pool_elems;
+      pool_elems += nd.buf_cap;
+    }
+    nodes_ = ctx_.Alloc<FunnelNode>(host_nodes.size());
+    for (std::size_t i = 0; i < host_nodes.size(); ++i) nodes_.Set(i, host_nodes[i]);
+    pool_ = ctx_.Alloc<T>(std::max<std::uint32_t>(pool_elems, 1));
+  }
+
+  /// Runs the merge to completion, writing all elements to `out`.
+  void Run(em::Writer<T>& out) {
+    FunnelNode root = nodes_.Get(0);
+    if (root.left < 0) {
+      // Single segment: plain copy.
+      for (std::uint32_t p = root.seg_pos; p < root.seg_end; ++p) {
+        out.Push(input_.Get(p));
+      }
+      return;
+    }
+    while (true) {
+      Fill(0);
+      root = nodes_.Get(0);
+      for (std::uint32_t i = root.head; i < root.tail; ++i) {
+        out.Push(pool_.Get(root.buf_off + i));
+      }
+      root.head = root.tail;
+      nodes_.Set(0, root);
+      if (root.exhausted != 0) break;
+    }
+  }
+
+ private:
+  static bool IsLeaf(const FunnelNode& nd) { return nd.left < 0; }
+
+  /// Makes sure node `idx` has at least one readable element (refilling an
+  /// empty internal buffer); returns false iff the node is drained for good.
+  bool EnsureData(std::int32_t idx) {
+    FunnelNode nd = nodes_.Get(idx);
+    if (IsLeaf(nd)) return nd.seg_pos < nd.seg_end;
+    if (nd.head < nd.tail) return true;
+    if (nd.exhausted != 0) return false;
+    Fill(idx);
+    nd = nodes_.Get(idx);
+    return nd.head < nd.tail;
+  }
+
+  T PeekNode(std::int32_t idx) {
+    FunnelNode nd = nodes_.Get(idx);
+    if (IsLeaf(nd)) return input_.Get(nd.seg_pos);
+    return pool_.Get(nd.buf_off + nd.head);
+  }
+
+  void PopNode(std::int32_t idx) {
+    FunnelNode nd = nodes_.Get(idx);
+    if (IsLeaf(nd)) {
+      ++nd.seg_pos;
+    } else {
+      ++nd.head;
+    }
+    nodes_.Set(idx, nd);
+  }
+
+  /// Lazy refill: fills node `idx`'s buffer to capacity or until its subtree
+  /// is exhausted.
+  void Fill(std::int32_t idx) {
+    FunnelNode nd = nodes_.Get(idx);
+    nd.head = 0;
+    nd.tail = 0;
+    nodes_.Set(idx, nd);
+    while (nd.tail < nd.buf_cap) {
+      bool lhas = EnsureData(nd.left);
+      bool rhas = EnsureData(nd.right);
+      if (!lhas && !rhas) {
+        nd.exhausted = 1;
+        break;
+      }
+      std::int32_t pick;
+      if (!lhas) {
+        pick = nd.right;
+      } else if (!rhas) {
+        pick = nd.left;
+      } else {
+        T lv = PeekNode(nd.left);
+        T rv = PeekNode(nd.right);
+        pick = less_(rv, lv) ? nd.right : nd.left;
+      }
+      T v = PeekNode(pick);
+      PopNode(pick);
+      pool_.Set(nd.buf_off + nd.tail, v);
+      ++nd.tail;
+      ctx_.AddWork(6);
+    }
+    nodes_.Set(idx, nd);
+  }
+
+  em::Context& ctx_;
+  em::Array<T> input_;
+  Less less_;
+  em::Array<FunnelNode> nodes_;
+  em::Array<T> pool_;
+};
+
+}  // namespace internal
+
+/// \brief Sorts `data` in place, cache-obliviously (lazy funnelsort).
+template <typename T, typename Less>
+void FunnelSort(em::Context& ctx, em::Array<T> data, Less less) {
+  const std::size_t n = data.size();
+  if (n <= 1) return;
+  if (n <= kFunnelBaseSize) {
+    em::ScratchLease lease =
+        ctx.LeaseScratch(kFunnelBaseSize * em::Array<T>::kWordsPer);
+    std::vector<T> buf(n);
+    data.ReadTo(0, n, buf.data());
+    std::sort(buf.begin(), buf.end(), less);
+    ctx.AddWork(n * 4);
+    data.WriteFrom(0, n, buf.data());
+    return;
+  }
+
+  // Split into ~n^(1/3) segments of size ~n^(2/3) and sort them recursively.
+  std::size_t k = static_cast<std::size_t>(std::llround(std::cbrt(static_cast<double>(n))));
+  k = std::max<std::size_t>(2, k);
+  std::size_t seg = (n + k - 1) / k;
+  std::vector<std::pair<std::size_t, std::size_t>> segs;
+  for (std::size_t lo = 0; lo < n; lo += seg) {
+    segs.emplace_back(lo, std::min(n, lo + seg));
+  }
+  for (const auto& [lo, hi] : segs) {
+    FunnelSort(ctx, data.Slice(lo, hi - lo), less);
+  }
+
+  // Merge the sorted segments with a k-funnel into fresh space, then copy
+  // back (the funnel state and buffers are released with the region).
+  auto region = ctx.Region();
+  em::Array<T> out = ctx.Alloc<T>(n);
+  internal::FunnelMerger<T, Less> merger(ctx, data, segs, less);
+  em::Writer<T> w(out);
+  merger.Run(w);
+  TRIENUM_CHECK(w.count() == n);
+  Copy(out, data);
+}
+
+}  // namespace trienum::extsort
+
+#endif  // TRIENUM_EXTSORT_FUNNEL_SORT_H_

@@ -1,0 +1,83 @@
+// Streaming scan primitives over em::Array: map/filter/copy/reduce. All cost
+// O(n/B) I/Os and are the glue of every algorithm in the paper (which are all
+// built from sorts and scans).
+#ifndef TRIENUM_EXTSORT_SCAN_OPS_H_
+#define TRIENUM_EXTSORT_SCAN_OPS_H_
+
+#include <cstddef>
+
+#include "em/array.h"
+
+namespace trienum::extsort {
+
+/// Copies elements of `src` satisfying `pred` into the front of `dst`;
+/// returns how many were kept. `dst` must have capacity >= src.size() (it may
+/// alias `src`, since writes trail reads).
+template <typename T, typename Pred>
+std::size_t Filter(const em::Array<T>& src, em::Array<T> dst, Pred pred) {
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    T v = src.Get(i);
+    if (pred(v)) dst.Set(out++, v);
+  }
+  return out;
+}
+
+/// Applies `fn` to each element of `src`, writing results to `dst`.
+template <typename T, typename U, typename Fn>
+void Transform(const em::Array<T>& src, em::Array<U> dst, Fn fn) {
+  for (std::size_t i = 0; i < src.size(); ++i) dst.Set(i, fn(src.Get(i)));
+}
+
+/// Invokes `fn(element)` for each element in order.
+template <typename T, typename Fn>
+void ForEach(const em::Array<T>& src, Fn fn) {
+  for (std::size_t i = 0; i < src.size(); ++i) fn(src.Get(i));
+}
+
+/// Copies src into dst (same length).
+template <typename T>
+void Copy(const em::Array<T>& src, em::Array<T> dst) {
+  TRIENUM_CHECK(dst.size() >= src.size());
+  for (std::size_t i = 0; i < src.size(); ++i) dst.Set(i, src.Get(i));
+}
+
+/// Removes consecutive duplicates (under `eq`) in place; returns new length.
+/// On sorted input this deduplicates globally.
+template <typename T, typename Eq>
+std::size_t UniqueConsecutive(em::Array<T> a, Eq eq) {
+  if (a.empty()) return 0;
+  std::size_t out = 1;
+  T prev = a.Get(0);
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    T v = a.Get(i);
+    if (!eq(prev, v)) {
+      a.Set(out++, v);
+      prev = v;
+    }
+  }
+  return out;
+}
+
+/// Counts elements satisfying `pred`.
+template <typename T, typename Pred>
+std::size_t CountIf(const em::Array<T>& src, Pred pred) {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    if (pred(src.Get(i))) ++n;
+  }
+  return n;
+}
+
+/// True if the array is sorted under `less` (one scan).
+template <typename T, typename Less>
+bool IsSorted(const em::Array<T>& a, Less less) {
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    if (less(a.Get(i), a.Get(i - 1))) return false;
+  }
+  return true;
+}
+
+}  // namespace trienum::extsort
+
+#endif  // TRIENUM_EXTSORT_SCAN_OPS_H_

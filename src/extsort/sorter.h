@@ -1,0 +1,32 @@
+// Sort policies: the paper's subroutines (Lemma 1, the recursion of §3, the
+// wedge join) are parameterized by which sort primitive they use — the
+// cache-aware algorithms plug in the multiway merge sort, the cache-oblivious
+// algorithm plugs in funnelsort. Passing the policy as a template parameter
+// keeps the cache-oblivious code path free of any M/B-dependent choice.
+#ifndef TRIENUM_EXTSORT_SORTER_H_
+#define TRIENUM_EXTSORT_SORTER_H_
+
+#include "extsort/ext_merge_sort.h"
+#include "extsort/funnel_sort.h"
+
+namespace trienum::extsort {
+
+/// Cache-aware sort policy (uses M and B).
+struct AwareSorter {
+  template <typename T, typename Less>
+  void operator()(em::Context& ctx, em::Array<T> data, Less less) const {
+    ExternalMergeSort(ctx, data, less);
+  }
+};
+
+/// Cache-oblivious sort policy (funnelsort; never consults M or B).
+struct ObliviousSorter {
+  template <typename T, typename Less>
+  void operator()(em::Context& ctx, em::Array<T> data, Less less) const {
+    FunnelSort(ctx, data, less);
+  }
+};
+
+}  // namespace trienum::extsort
+
+#endif  // TRIENUM_EXTSORT_SORTER_H_

@@ -1,0 +1,216 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace trienum::graph {
+namespace {
+
+std::uint64_t EdgeKey(VertexId a, VertexId b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+}  // namespace
+
+std::vector<Edge> Gnm(VertexId n, std::size_t m, std::uint64_t seed) {
+  TRIENUM_CHECK(n >= 2);
+  std::size_t max_edges = static_cast<std::size_t>(n) * (n - 1) / 2;
+  TRIENUM_CHECK_MSG(m <= max_edges, "G(n,m): too many edges requested");
+  SplitMix64 rng(seed);
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<Edge> out;
+  out.reserve(m);
+  while (out.size() < m) {
+    VertexId a = static_cast<VertexId>(rng.Below(n));
+    VertexId b = static_cast<VertexId>(rng.Below(n));
+    if (a == b) continue;
+    std::uint64_t key = EdgeKey(a, b);
+    if (!seen.insert(key).second) continue;
+    out.push_back(Edge{std::min(a, b), std::max(a, b)});
+  }
+  return out;
+}
+
+std::vector<Edge> Clique(VertexId k) {
+  std::vector<Edge> out;
+  out.reserve(static_cast<std::size_t>(k) * (k - 1) / 2);
+  for (VertexId i = 0; i < k; ++i) {
+    for (VertexId j = i + 1; j < k; ++j) out.push_back(Edge{i, j});
+  }
+  return out;
+}
+
+std::vector<Edge> CliquePlusPath(VertexId k, VertexId path_len) {
+  std::vector<Edge> out = Clique(k);
+  VertexId prev = 0;
+  for (VertexId i = 0; i < path_len; ++i) {
+    VertexId next = k + i;
+    out.push_back(Edge{std::min(prev, next), std::max(prev, next)});
+    prev = next;
+  }
+  return out;
+}
+
+std::vector<Edge> CompleteTripartite(VertexId a, VertexId b, VertexId c) {
+  std::vector<Edge> out;
+  out.reserve(static_cast<std::size_t>(a) * b + static_cast<std::size_t>(b) * c +
+              static_cast<std::size_t>(a) * c);
+  VertexId b0 = a, c0 = a + b;
+  for (VertexId i = 0; i < a; ++i) {
+    for (VertexId j = 0; j < b; ++j) out.push_back(Edge{i, b0 + j});
+  }
+  for (VertexId j = 0; j < b; ++j) {
+    for (VertexId k = 0; k < c; ++k) out.push_back(Edge{b0 + j, c0 + k});
+  }
+  for (VertexId i = 0; i < a; ++i) {
+    for (VertexId k = 0; k < c; ++k) out.push_back(Edge{i, c0 + k});
+  }
+  return out;
+}
+
+std::vector<Edge> Rmat(int scale, std::size_t m, double pa, double pb, double pc,
+                       std::uint64_t seed) {
+  TRIENUM_CHECK(scale >= 1 && scale <= 30);
+  TRIENUM_CHECK(pa + pb + pc <= 1.0);
+  SplitMix64 rng(seed);
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<Edge> out;
+  out.reserve(m);
+  VertexId n = VertexId{1} << scale;
+  std::size_t attempts = 0;
+  while (out.size() < m && attempts < 64 * m + 1024) {
+    ++attempts;
+    VertexId a = 0, b = 0;
+    for (int level = 0; level < scale; ++level) {
+      double r = rng.NextDouble();
+      int quadrant = r < pa ? 0 : (r < pa + pb ? 1 : (r < pa + pb + pc ? 2 : 3));
+      a = (a << 1) | static_cast<VertexId>(quadrant >> 1);
+      b = (b << 1) | static_cast<VertexId>(quadrant & 1);
+    }
+    if (a == b || a >= n || b >= n) continue;
+    if (!seen.insert(EdgeKey(a, b)).second) continue;
+    out.push_back(Edge{std::min(a, b), std::max(a, b)});
+  }
+  return out;
+}
+
+std::vector<Edge> PlantedTriangles(VertexId n, std::size_t base_edges,
+                                   std::size_t planted, std::uint64_t seed) {
+  TRIENUM_CHECK(3 * planted <= n);
+  std::vector<Edge> out = Gnm(n, base_edges, seed);
+  // Plant vertex-disjoint triangles on the first 3*planted ids; duplicates
+  // with random edges are merged by normalization.
+  for (std::size_t t = 0; t < planted; ++t) {
+    VertexId v = static_cast<VertexId>(3 * t);
+    out.push_back(Edge{v, v + 1});
+    out.push_back(Edge{v + 1, v + 2});
+    out.push_back(Edge{v, v + 2});
+  }
+  return out;
+}
+
+std::vector<Edge> Star(VertexId n) {
+  std::vector<Edge> out;
+  out.reserve(n);
+  for (VertexId i = 1; i <= n; ++i) out.push_back(Edge{0, i});
+  return out;
+}
+
+std::vector<Edge> PathGraph(VertexId n) {
+  std::vector<Edge> out;
+  for (VertexId i = 0; i + 1 < n; ++i) out.push_back(Edge{i, i + 1});
+  return out;
+}
+
+std::vector<Edge> CycleGraph(VertexId n) {
+  std::vector<Edge> out = PathGraph(n);
+  if (n >= 3) out.push_back(Edge{0, n - 1});
+  return out;
+}
+
+std::vector<Edge> BipartiteRandom(VertexId left, VertexId right, std::size_t m,
+                                  std::uint64_t seed) {
+  TRIENUM_CHECK(m <= static_cast<std::size_t>(left) * right);
+  SplitMix64 rng(seed);
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<Edge> out;
+  while (out.size() < m) {
+    VertexId a = static_cast<VertexId>(rng.Below(left));
+    VertexId b = static_cast<VertexId>(left + rng.Below(right));
+    if (!seen.insert(EdgeKey(a, b)).second) continue;
+    out.push_back(Edge{a, b});
+  }
+  return out;
+}
+
+std::vector<Edge> CliqueUnion(VertexId k, VertexId s) {
+  std::vector<Edge> out;
+  for (VertexId c = 0; c < k; ++c) {
+    VertexId base = c * s;
+    for (VertexId i = 0; i < s; ++i) {
+      for (VertexId j = i + 1; j < s; ++j) out.push_back(Edge{base + i, base + j});
+    }
+  }
+  return out;
+}
+
+std::vector<Edge> BarabasiAlbert(VertexId n, VertexId attach, std::uint64_t seed) {
+  TRIENUM_CHECK(attach >= 1 && n > attach);
+  SplitMix64 rng(seed);
+  std::vector<Edge> out;
+  // Repeated-endpoint list: sampling a uniform element is sampling a vertex
+  // proportionally to its degree (the classic implementation).
+  std::vector<VertexId> endpoints;
+  // Seed graph: a clique on attach + 1 vertices.
+  for (VertexId i = 0; i <= attach; ++i) {
+    for (VertexId j = i + 1; j <= attach; ++j) {
+      out.push_back(Edge{i, j});
+      endpoints.push_back(i);
+      endpoints.push_back(j);
+    }
+  }
+  for (VertexId v = attach + 1; v < n; ++v) {
+    std::unordered_set<VertexId> chosen;
+    std::size_t guard = 0;
+    while (chosen.size() < attach && ++guard < 64u * attach) {
+      VertexId t = endpoints[rng.Below(endpoints.size())];
+      if (t != v) chosen.insert(t);
+    }
+    for (VertexId t : chosen) {
+      out.push_back(Edge{std::min(v, t), std::max(v, t)});
+      endpoints.push_back(v);
+      endpoints.push_back(t);
+    }
+  }
+  return out;
+}
+
+std::vector<Edge> WattsStrogatz(VertexId n, VertexId k, double beta,
+                                std::uint64_t seed) {
+  TRIENUM_CHECK(n > 2 * k && k >= 1);
+  SplitMix64 rng(seed);
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<Edge> out;
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId d = 1; d <= k; ++d) {
+      VertexId t = (v + d) % n;
+      if (rng.NextDouble() < beta) {
+        // Rewire to a uniform non-neighbour.
+        std::size_t guard = 0;
+        do {
+          t = static_cast<VertexId>(rng.Below(n));
+        } while ((t == v || seen.count(EdgeKey(v, t)) != 0) && ++guard < 64);
+        if (t == v || seen.count(EdgeKey(v, t)) != 0) continue;
+      }
+      if (!seen.insert(EdgeKey(v, t)).second) continue;
+      out.push_back(Edge{std::min(v, t), std::max(v, t)});
+    }
+  }
+  return out;
+}
+
+}  // namespace trienum::graph

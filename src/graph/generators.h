@@ -1,0 +1,71 @@
+// Deterministic synthetic graph generators covering every input regime the
+// paper's theorems distinguish: sparse random graphs, heavy-tailed degree
+// graphs (which exercise the high-degree-vertex step), cliques (the lower
+// bound's t = Theta(E^{3/2}) witness), tripartite join graphs (the 5NF
+// application of the introduction), and triangle-free controls.
+#ifndef TRIENUM_GRAPH_GENERATORS_H_
+#define TRIENUM_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace trienum::graph {
+
+/// Erdos-Renyi G(n, m): m distinct edges drawn uniformly; deterministic in
+/// `seed`.
+std::vector<Edge> Gnm(VertexId n, std::size_t m, std::uint64_t seed);
+
+/// Complete graph K_k: C(k,2) edges and C(k,3) triangles — the lower-bound
+/// witness with t = Theta(E^{3/2}).
+std::vector<Edge> Clique(VertexId k);
+
+/// K_k plus a path of `path_len` extra vertices hanging off vertex 0: dense
+/// core + sparse periphery, stressing the high-degree split.
+std::vector<Edge> CliquePlusPath(VertexId k, VertexId path_len);
+
+/// Complete tripartite graph K_{a,b,c}: parts A, B, C with all cross edges;
+/// a*b*c triangles. This is the join graph of the paper's Sells example.
+std::vector<Edge> CompleteTripartite(VertexId a, VertexId b, VertexId c);
+
+/// R-MAT recursive-matrix graph with skewed (power-law-ish) degrees.
+/// `scale` gives n = 2^scale vertices; probabilities (pa, pb, pc) with
+/// pd = 1 - pa - pb - pc.
+std::vector<Edge> Rmat(int scale, std::size_t m, double pa, double pb, double pc,
+                       std::uint64_t seed);
+
+/// `base_edges` random edges plus `planted` vertex-disjoint triangles.
+std::vector<Edge> PlantedTriangles(VertexId n, std::size_t base_edges,
+                                   std::size_t planted, std::uint64_t seed);
+
+/// Star with `n` leaves (triangle-free, maximally skewed degree).
+std::vector<Edge> Star(VertexId n);
+
+/// Simple path on n vertices (triangle-free).
+std::vector<Edge> PathGraph(VertexId n);
+
+/// Cycle on n vertices (one triangle iff n == 3).
+std::vector<Edge> CycleGraph(VertexId n);
+
+/// Random bipartite graph (triangle-free control with nontrivial structure).
+std::vector<Edge> BipartiteRandom(VertexId left, VertexId right, std::size_t m,
+                                  std::uint64_t seed);
+
+/// Disjoint union of `k` cliques of size `s` each (many medium-degree hubs).
+std::vector<Edge> CliqueUnion(VertexId k, VertexId s);
+
+/// Barabasi-Albert preferential attachment: each new vertex attaches to
+/// `attach` existing vertices chosen proportionally to degree (heavy tail
+/// with a different shape than R-MAT).
+std::vector<Edge> BarabasiAlbert(VertexId n, VertexId attach, std::uint64_t seed);
+
+/// Watts-Strogatz small world: ring lattice with `k` nearest neighbours per
+/// side, each edge rewired with probability `beta` (high clustering —
+/// triangle-rich at low beta).
+std::vector<Edge> WattsStrogatz(VertexId n, VertexId k, double beta,
+                                std::uint64_t seed);
+
+}  // namespace trienum::graph
+
+#endif  // TRIENUM_GRAPH_GENERATORS_H_

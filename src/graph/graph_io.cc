@@ -1,0 +1,65 @@
+#include "graph/graph_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace trienum::graph {
+
+Result<std::vector<Edge>> ReadEdgeListText(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::vector<Edge> edges;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ss(line);
+    std::uint64_t u, v;
+    if (!(ss >> u >> v)) {
+      return Status::InvalidArgument("parse error at " + path + ":" +
+                                     std::to_string(lineno));
+    }
+    if (u > 0xFFFFFFFFULL || v > 0xFFFFFFFFULL) {
+      return Status::OutOfRange("vertex id exceeds 32 bits at " + path + ":" +
+                                std::to_string(lineno));
+    }
+    edges.push_back(Edge{static_cast<VertexId>(u), static_cast<VertexId>(v)});
+  }
+  return edges;
+}
+
+Status WriteEdgeListText(const std::string& path, const std::vector<Edge>& edges) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  for (const Edge& e : edges) out << e.u << ' ' << e.v << '\n';
+  if (!out) return Status::IoError("write failed on " + path);
+  return Status::OK();
+}
+
+Result<std::vector<Edge>> ReadEdgeListBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in) return Status::IoError("truncated header in " + path);
+  std::vector<Edge> edges(count);
+  in.read(reinterpret_cast<char*>(edges.data()),
+          static_cast<std::streamsize>(count * sizeof(Edge)));
+  if (!in) return Status::IoError("truncated payload in " + path);
+  return edges;
+}
+
+Status WriteEdgeListBinary(const std::string& path, const std::vector<Edge>& edges) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  std::uint64_t count = edges.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  out.write(reinterpret_cast<const char*>(edges.data()),
+            static_cast<std::streamsize>(count * sizeof(Edge)));
+  if (!out) return Status::IoError("write failed on " + path);
+  return Status::OK();
+}
+
+}  // namespace trienum::graph

@@ -1,0 +1,65 @@
+#include "graph/host_graph.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace trienum::graph {
+
+HostGraph::HostGraph(const std::vector<Edge>& edges) {
+  canonical_.reserve(edges.size());
+  for (const Edge& e : edges) {
+    if (e.u == e.v) continue;
+    canonical_.push_back(Edge{std::min(e.u, e.v), std::max(e.u, e.v)});
+  }
+  std::sort(canonical_.begin(), canonical_.end());
+  canonical_.erase(std::unique(canonical_.begin(), canonical_.end()),
+                   canonical_.end());
+  num_edges_ = canonical_.size();
+
+  vertices_.reserve(2 * canonical_.size());
+  for (const Edge& e : canonical_) {
+    vertices_.push_back(e.u);
+    vertices_.push_back(e.v);
+  }
+  std::sort(vertices_.begin(), vertices_.end());
+  vertices_.erase(std::unique(vertices_.begin(), vertices_.end()),
+                  vertices_.end());
+
+  forward_.assign(vertices_.size(), {});
+  degree_.assign(vertices_.size(), 0);
+  for (const Edge& e : canonical_) {
+    forward_[IndexOf(e.u)].push_back(e.v);
+    ++degree_[IndexOf(e.u)];
+    ++degree_[IndexOf(e.v)];
+  }
+  // Canonical edges are lex-sorted, so forward lists are already ascending.
+}
+
+std::size_t HostGraph::IndexOf(VertexId v) const {
+  auto it = std::lower_bound(vertices_.begin(), vertices_.end(), v);
+  if (it == vertices_.end() || *it != v) return vertices_.size();
+  return static_cast<std::size_t>(it - vertices_.begin());
+}
+
+const std::vector<VertexId>& HostGraph::Forward(VertexId v) const {
+  static const std::vector<VertexId> kEmpty;
+  std::size_t i = IndexOf(v);
+  if (i == vertices_.size()) return kEmpty;
+  return forward_[i];
+}
+
+std::size_t HostGraph::Degree(VertexId v) const {
+  std::size_t i = IndexOf(v);
+  if (i == vertices_.size()) return 0;
+  return degree_[i];
+}
+
+bool HostGraph::HasEdge(VertexId a, VertexId b) const {
+  if (a == b) return false;
+  VertexId lo = std::min(a, b), hi = std::max(a, b);
+  const std::vector<VertexId>& fwd = Forward(lo);
+  return std::binary_search(fwd.begin(), fwd.end(), hi);
+}
+
+}  // namespace trienum::graph

@@ -1,0 +1,54 @@
+// Host-memory adjacency structure used by the reference enumerator and by
+// tests; not part of the measured EM algorithms.
+#ifndef TRIENUM_GRAPH_HOST_GRAPH_H_
+#define TRIENUM_GRAPH_HOST_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace trienum::graph {
+
+/// \brief Compressed sparse adjacency over (possibly sparse) vertex ids.
+///
+/// Stores, for every vertex, its forward neighbours (neighbours with larger
+/// id), sorted — the layout used by in-memory triangle algorithms.
+class HostGraph {
+ public:
+  /// Builds from an arbitrary edge list: self-loops dropped, duplicates
+  /// merged, edges reoriented to (min, max).
+  explicit HostGraph(const std::vector<Edge>& edges);
+
+  std::size_t num_edges() const { return num_edges_; }
+  std::size_t num_vertices() const { return vertices_.size(); }
+
+  /// Distinct vertex ids, sorted.
+  const std::vector<VertexId>& vertices() const { return vertices_; }
+
+  /// Forward (larger-id) neighbours of v, sorted ascending; empty if v has
+  /// none.
+  const std::vector<VertexId>& Forward(VertexId v) const;
+
+  /// Total degree of v (forward + backward).
+  std::size_t Degree(VertexId v) const;
+
+  /// True if the (undirected) edge {a, b} exists.
+  bool HasEdge(VertexId a, VertexId b) const;
+
+  /// The deduplicated (min, max) edge list, lexicographically sorted.
+  const std::vector<Edge>& CanonicalEdges() const { return canonical_; }
+
+ private:
+  std::size_t IndexOf(VertexId v) const;  // position in vertices_ or npos
+
+  std::vector<VertexId> vertices_;
+  std::vector<std::vector<VertexId>> forward_;
+  std::vector<std::size_t> degree_;
+  std::vector<Edge> canonical_;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace trienum::graph
+
+#endif  // TRIENUM_GRAPH_HOST_GRAPH_H_

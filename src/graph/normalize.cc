@@ -1,0 +1,156 @@
+#include "graph/normalize.h"
+
+#include <tuple>
+
+#include "extsort/ext_merge_sort.h"
+#include "extsort/scan_ops.h"
+
+namespace trienum::graph {
+namespace {
+
+/// (vertex, degree) pair produced by the degree-counting scan.
+struct DegRec {
+  VertexId v = 0;
+  std::uint32_t deg = 0;
+};
+
+/// old-id -> new-id mapping entry.
+struct MapRec {
+  VertexId old_id = 0;
+  VertexId new_id = 0;
+};
+
+}  // namespace
+
+EmGraph NormalizeEdges(em::Context& ctx, em::Array<Edge> raw,
+                       std::vector<VertexId>* new_to_old) {
+  if (raw.empty()) {
+    if (new_to_old != nullptr) new_to_old->clear();
+    return EmGraph{ctx.Alloc<Edge>(0), 0, ctx.Alloc<std::uint32_t>(0)};
+  }
+
+  // 1. Reorient to (min, max), dropping self-loops.
+  em::Array<Edge> work = ctx.Alloc<Edge>(raw.size());
+  std::size_t m = 0;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    Edge e = raw.Get(i);
+    if (e.u == e.v) continue;
+    work.Set(m++, Edge{std::min(e.u, e.v), std::max(e.u, e.v)});
+  }
+  em::Array<Edge> edges = work.Slice(0, m);
+
+  // 2. Sort lexicographically and remove duplicates.
+  extsort::ExternalMergeSort(ctx, edges, LexLess{});
+  m = extsort::UniqueConsecutive(edges,
+                                 [](const Edge& a, const Edge& b) { return a == b; });
+  edges = edges.Slice(0, m);
+  if (m == 0) {
+    if (new_to_old != nullptr) new_to_old->clear();
+    return EmGraph{ctx.Alloc<Edge>(0), 0, ctx.Alloc<std::uint32_t>(0)};
+  }
+
+  // 3. Degrees: scatter endpoints, sort, and run-length encode.
+  em::Array<VertexId> ends = ctx.Alloc<VertexId>(2 * m);
+  for (std::size_t i = 0; i < m; ++i) {
+    Edge e = edges.Get(i);
+    ends.Set(2 * i, e.u);
+    ends.Set(2 * i + 1, e.v);
+  }
+  extsort::ExternalMergeSort(ctx, ends,
+                             [](VertexId a, VertexId b) { return a < b; });
+  em::Array<DegRec> dv = ctx.Alloc<DegRec>(2 * m);
+  em::Writer<DegRec> dvw(dv);
+  {
+    VertexId cur = ends.Get(0);
+    std::uint32_t cnt = 1;
+    for (std::size_t i = 1; i < 2 * m; ++i) {
+      VertexId x = ends.Get(i);
+      if (x == cur) {
+        ++cnt;
+      } else {
+        dvw.Push(DegRec{cur, cnt});
+        cur = x;
+        cnt = 1;
+      }
+    }
+    dvw.Push(DegRec{cur, cnt});
+  }
+  em::Array<DegRec> degs = dvw.Written();
+  VertexId nv = static_cast<VertexId>(degs.size());
+
+  // 4. Degree rank: sort by (degree, id); position becomes the new id.
+  extsort::ExternalMergeSort(ctx, degs, [](const DegRec& a, const DegRec& b) {
+    return std::tie(a.deg, a.v) < std::tie(b.deg, b.v);
+  });
+
+  // 5. Relabeling table sorted by old id.
+  em::Array<MapRec> map = ctx.Alloc<MapRec>(nv);
+  for (VertexId i = 0; i < nv; ++i) {
+    map.Set(i, MapRec{degs.Get(i).v, i});
+  }
+  extsort::ExternalMergeSort(ctx, map, [](const MapRec& a, const MapRec& b) {
+    return a.old_id < b.old_id;
+  });
+
+  // 6. Relabel edges with two merge-join passes (edges sorted by u, then v).
+  {
+    em::Scanner<MapRec> ms(map);
+    MapRec cur = ms.Next();
+    for (std::size_t i = 0; i < m; ++i) {
+      Edge e = edges.Get(i);
+      while (cur.old_id < e.u && ms.HasNext()) cur = ms.Next();
+      TRIENUM_CHECK(cur.old_id == e.u);
+      edges.Set(i, Edge{cur.new_id, e.v});
+    }
+  }
+  extsort::ExternalMergeSort(ctx, edges, [](const Edge& a, const Edge& b) {
+    return std::tie(a.v, a.u) < std::tie(b.v, b.u);
+  });
+  {
+    em::Scanner<MapRec> ms(map);
+    MapRec cur = ms.Next();
+    for (std::size_t i = 0; i < m; ++i) {
+      Edge e = edges.Get(i);
+      while (cur.old_id < e.v && ms.HasNext()) cur = ms.Next();
+      TRIENUM_CHECK(cur.old_id == e.v);
+      VertexId a = e.u, b = cur.new_id;
+      edges.Set(i, Edge{std::min(a, b), std::max(a, b)});
+    }
+  }
+  extsort::ExternalMergeSort(ctx, edges, LexLess{});
+
+  // 7. Final arrays: normalized edge list and degree-by-new-id.
+  em::Array<Edge> out_edges = ctx.Alloc<Edge>(m);
+  extsort::Copy(edges, out_edges);
+  em::Array<std::uint32_t> out_deg = ctx.Alloc<std::uint32_t>(nv);
+  for (VertexId i = 0; i < nv; ++i) out_deg.Set(i, degs.Get(i).deg);
+
+  if (new_to_old != nullptr) {
+    new_to_old->resize(nv);
+    for (VertexId i = 0; i < nv; ++i) (*new_to_old)[i] = degs.Get(i).v;
+  }
+  return EmGraph{out_edges, nv, out_deg};
+}
+
+EmGraph BuildEmGraph(em::Context& ctx, const std::vector<Edge>& raw,
+                     std::vector<VertexId>* new_to_old) {
+  em::Array<Edge> dev = ctx.Alloc<Edge>(raw.size());
+  bool was_counting = ctx.cache().counting();
+  ctx.cache().set_counting(false);  // the input is assumed to be on disk
+  for (std::size_t i = 0; i < raw.size(); ++i) dev.Set(i, raw[i]);
+  ctx.cache().set_counting(was_counting);
+  return NormalizeEdges(ctx, dev, new_to_old);
+}
+
+std::vector<Edge> DownloadEdges(const EmGraph& g) {
+  std::vector<Edge> out(g.num_edges());
+  if (g.num_edges() == 0) return out;
+  em::Context* ctx = g.edges.context();
+  bool was_counting = ctx->cache().counting();
+  ctx->cache().set_counting(false);
+  for (std::size_t i = 0; i < g.num_edges(); ++i) out[i] = g.edges.Get(i);
+  ctx->cache().set_counting(was_counting);
+  return out;
+}
+
+}  // namespace trienum::graph

@@ -1,0 +1,46 @@
+// The paper's §1.3 input normalization, implemented as an external-memory
+// pipeline of sorts and scans (O(sort(E)) I/Os): drop self-loops and
+// duplicates, relabel vertices by degree rank (ties broken by original id,
+// an "arbitrary but consistent" order), orient each edge as (u, v) with
+// u < v in the new id space, and sort lexicographically — so every vertex's
+// forward neighbour list is contiguous on disk.
+#ifndef TRIENUM_GRAPH_NORMALIZE_H_
+#define TRIENUM_GRAPH_NORMALIZE_H_
+
+#include <vector>
+
+#include "em/array.h"
+#include "graph/types.h"
+
+namespace trienum::graph {
+
+/// \brief A normalized graph resident on the simulated device.
+///
+/// Invariants: vertex ids are 0..num_vertices-1 in non-decreasing degree
+/// order; every edge has u < v; edges are lexicographically sorted; degrees
+/// is indexed by (new) vertex id.
+struct EmGraph {
+  em::Array<Edge> edges;
+  VertexId num_vertices = 0;
+  em::Array<std::uint32_t> degrees;
+
+  std::size_t num_edges() const { return edges.size(); }
+};
+
+/// Normalizes an on-device edge array (arbitrary ids, possible self-loops
+/// and duplicates) into an EmGraph. Costs O(sort(E)) I/Os, all counted.
+/// If `new_to_old` is non-null it receives the inverse relabeling.
+EmGraph NormalizeEdges(em::Context& ctx, em::Array<Edge> raw,
+                       std::vector<VertexId>* new_to_old = nullptr);
+
+/// Uploads host edges to the device and normalizes them.
+EmGraph BuildEmGraph(em::Context& ctx, const std::vector<Edge>& raw,
+                     std::vector<VertexId>* new_to_old = nullptr);
+
+/// Reads the normalized edges back to the host without touching I/O
+/// accounting (verification helper).
+std::vector<Edge> DownloadEdges(const EmGraph& g);
+
+}  // namespace trienum::graph
+
+#endif  // TRIENUM_GRAPH_NORMALIZE_H_

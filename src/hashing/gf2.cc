@@ -1,0 +1,113 @@
+#include "hashing/gf2.h"
+
+#include "common/status.h"
+
+namespace trienum::hashing {
+namespace {
+
+// Carry-less multiplication of polynomials over GF(2); inputs must keep the
+// result under 64 bits.
+std::uint64_t ClMul(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t r = 0;
+  while (b != 0) {
+    if (b & 1) r ^= a;
+    a <<= 1;
+    b >>= 1;
+  }
+  return r;
+}
+
+int Degree(std::uint64_t p) {
+  if (p == 0) return -1;
+  return 63 - __builtin_clzll(p);
+}
+
+// a mod f in GF(2)[x].
+std::uint64_t PolyMod(std::uint64_t a, std::uint64_t f) {
+  int df = Degree(f);
+  for (int d = Degree(a); d >= df; d = Degree(a)) {
+    a ^= f << (d - df);
+  }
+  return a;
+}
+
+std::uint64_t PolyMulMod(std::uint64_t a, std::uint64_t b, std::uint64_t f) {
+  return PolyMod(ClMul(a, b), f);
+}
+
+std::uint64_t PolyGcd(std::uint64_t a, std::uint64_t b) {
+  while (b != 0) {
+    std::uint64_t r = PolyMod(a, b);
+    a = b;
+    b = r;
+  }
+  return a;
+}
+
+// x^(2^k) mod f, by k successive squarings of x.
+std::uint64_t XPow2k(int k, std::uint64_t f) {
+  std::uint64_t r = 0b10;  // the polynomial x
+  for (int i = 0; i < k; ++i) r = PolyMulMod(r, r, f);
+  return r;
+}
+
+}  // namespace
+
+bool GF2m::IsIrreducible(std::uint64_t poly, int degree) {
+  if (degree <= 0) return false;
+  if ((poly & 1) == 0) return false;  // divisible by x
+  // Rabin's test: x^(2^m) == x (mod f), and for each prime divisor q of m,
+  // gcd(x^(2^(m/q)) - x, f) == 1.
+  std::uint64_t xq = XPow2k(degree, poly);
+  if (xq != 0b10) return false;
+  int m = degree;
+  for (int q = 2; q <= m; ++q) {
+    if (m % q != 0) continue;
+    bool prime = true;
+    for (int d = 2; d * d <= q; ++d) {
+      if (q % d == 0) {
+        prime = false;
+        break;
+      }
+    }
+    if (!prime) continue;
+    std::uint64_t h = XPow2k(m / q, poly) ^ 0b10;
+    if (PolyGcd(poly, h) != 1) return false;
+  }
+  return true;
+}
+
+GF2m::GF2m(int m) : m_(m) {
+  TRIENUM_CHECK_MSG(m >= 1 && m <= 30, "GF(2^m) supported for 1 <= m <= 30");
+  std::uint64_t top = std::uint64_t{1} << m;
+  modulus_ = 0;
+  for (std::uint64_t low = 1; low < top; low += 2) {
+    std::uint64_t cand = top | low;
+    if (IsIrreducible(cand, m)) {
+      modulus_ = cand;
+      break;
+    }
+  }
+  TRIENUM_CHECK_MSG(modulus_ != 0, "no irreducible polynomial found");
+}
+
+std::uint64_t GF2m::Mul(std::uint64_t a, std::uint64_t b) const {
+  return PolyMod(ClMul(a, b), modulus_);
+}
+
+std::uint64_t GF2m::Pow(std::uint64_t a, std::uint64_t e) const {
+  std::uint64_t r = 1;
+  std::uint64_t base = a;
+  while (e != 0) {
+    if (e & 1) r = Mul(r, base);
+    base = Mul(base, base);
+    e >>= 1;
+  }
+  return r;
+}
+
+std::uint32_t GF2m::InnerProduct(std::uint64_t a, std::uint64_t b) {
+  return static_cast<std::uint32_t>(__builtin_popcountll(a & b) & 1);
+}
+
+}  // namespace trienum::hashing

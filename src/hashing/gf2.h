@@ -1,0 +1,42 @@
+// Arithmetic in GF(2^m) for the Alon-Goldreich-Hastad-Peralta epsilon-biased
+// sample space (paper Lemma 6, used by the Section 4 derandomization).
+#ifndef TRIENUM_HASHING_GF2_H_
+#define TRIENUM_HASHING_GF2_H_
+
+#include <cstdint>
+
+namespace trienum::hashing {
+
+/// \brief The finite field GF(2^m), 1 <= m <= 30, with a self-found
+/// irreducible modulus.
+class GF2m {
+ public:
+  /// Constructs the field, searching for the lexicographically first
+  /// irreducible polynomial of degree m (deterministic).
+  explicit GF2m(int m);
+
+  int m() const { return m_; }
+  std::uint64_t modulus() const { return modulus_; }
+  std::uint64_t order() const { return std::uint64_t{1} << m_; }
+
+  /// Carry-less product reduced mod the field polynomial.
+  std::uint64_t Mul(std::uint64_t a, std::uint64_t b) const;
+
+  /// a^e by square-and-multiply.
+  std::uint64_t Pow(std::uint64_t a, std::uint64_t e) const;
+
+  /// Parity of (a AND b): the standard inner product over GF(2)^m.
+  static std::uint32_t InnerProduct(std::uint64_t a, std::uint64_t b);
+
+  /// True if `poly` (with degree = bit length - 1) is irreducible over
+  /// GF(2). Exposed for tests.
+  static bool IsIrreducible(std::uint64_t poly, int degree);
+
+ private:
+  int m_;
+  std::uint64_t modulus_;  // degree-m polynomial, bit i = coefficient of x^i
+};
+
+}  // namespace trienum::hashing
+
+#endif  // TRIENUM_HASHING_GF2_H_

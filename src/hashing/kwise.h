@@ -1,0 +1,59 @@
+// k-wise independent hashing via random polynomials over GF(p), p = 2^61 - 1.
+//
+// The paper's algorithms draw vertex colorings from a 4-wise independent
+// family (Section 2, step 2; Section 3, step 2). A degree-(k-1) polynomial
+// with uniform coefficients over a prime field is the textbook k-wise
+// independent family.
+#ifndef TRIENUM_HASHING_KWISE_H_
+#define TRIENUM_HASHING_KWISE_H_
+
+#include <array>
+#include <cstdint>
+
+namespace trienum::hashing {
+
+/// Mersenne prime 2^61 - 1 used as the field modulus.
+inline constexpr std::uint64_t kMersenne61 = (std::uint64_t{1} << 61) - 1;
+
+/// (a * b) mod (2^61 - 1) without overflow.
+std::uint64_t MulMod61(std::uint64_t a, std::uint64_t b);
+
+/// (a + b) mod (2^61 - 1).
+inline std::uint64_t AddMod61(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t s = a + b;
+  if (s >= kMersenne61) s -= kMersenne61;
+  return s;
+}
+
+/// \brief 4-wise independent hash h : u64 -> [0, 2^61-1).
+///
+/// h(x) = a3*x^3 + a2*x^2 + a1*x + a0 over GF(2^61 - 1), coefficients drawn
+/// deterministically from `seed`.
+class FourWiseHash {
+ public:
+  FourWiseHash() : FourWiseHash(0) {}
+  explicit FourWiseHash(std::uint64_t seed);
+
+  /// Full 61-bit hash value.
+  std::uint64_t operator()(std::uint64_t x) const;
+
+  /// One (pairwise-exactly, 4-wise almost) unbiased bit.
+  std::uint32_t Bit(std::uint64_t x) const {
+    return static_cast<std::uint32_t>((*this)(x)&1u);
+  }
+
+  /// Color in [0, c) for power-of-two c (low bits of the hash).
+  std::uint32_t Color(std::uint64_t x, std::uint32_t c_pow2) const {
+    return static_cast<std::uint32_t>((*this)(x) & (c_pow2 - 1));
+  }
+
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::uint64_t seed_;
+  std::array<std::uint64_t, 4> a_;
+};
+
+}  // namespace trienum::hashing
+
+#endif  // TRIENUM_HASHING_KWISE_H_

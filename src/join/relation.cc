@@ -1,0 +1,65 @@
+#include "join/relation.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace trienum::join {
+namespace {
+
+void Dedup(BinaryRelation* r) {
+  std::sort(r->rows.begin(), r->rows.end());
+  r->rows.erase(std::unique(r->rows.begin(), r->rows.end()), r->rows.end());
+}
+
+}  // namespace
+
+Decomposition Decompose(const std::vector<Tuple3>& sells) {
+  Decomposition d;
+  d.ab = BinaryRelation{"salesperson", "brand", {}};
+  d.bc = BinaryRelation{"brand", "productType", {}};
+  d.ac = BinaryRelation{"salesperson", "productType", {}};
+  for (const Tuple3& t : sells) {
+    d.ab.rows.emplace_back(t.a, t.b);
+    d.bc.rows.emplace_back(t.b, t.c);
+    d.ac.rows.emplace_back(t.a, t.c);
+  }
+  Dedup(&d.ab);
+  Dedup(&d.bc);
+  Dedup(&d.ac);
+  return d;
+}
+
+std::vector<Tuple3> NaturalJoinReference(const Decomposition& d) {
+  // Hash the (brand -> productType) relation and probe per (a, b) row, then
+  // verify (a, c) membership.
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> bc;
+  for (const auto& [b, c] : d.bc.rows) bc[b].push_back(c);
+  std::unordered_set<std::uint64_t> ac;
+  for (const auto& [a, c] : d.ac.rows) {
+    ac.insert((static_cast<std::uint64_t>(a) << 32) | c);
+  }
+  std::vector<Tuple3> out;
+  for (const auto& [a, b] : d.ab.rows) {
+    auto it = bc.find(b);
+    if (it == bc.end()) continue;
+    for (std::uint32_t c : it->second) {
+      if (ac.count((static_cast<std::uint64_t>(a) << 32) | c) != 0) {
+        out.push_back(Tuple3{a, b, c});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool IsFifthNormalFormDecomposable(const std::vector<Tuple3>& sells) {
+  std::vector<Tuple3> canon = sells;
+  std::sort(canon.begin(), canon.end());
+  canon.erase(std::unique(canon.begin(), canon.end()), canon.end());
+  std::vector<Tuple3> joined = NaturalJoinReference(Decompose(canon));
+  return joined == canon;
+}
+
+}  // namespace trienum::join

@@ -1,0 +1,61 @@
+// Minimal relational layer for the paper's introductory database example:
+// the table Sells(salesperson, brand, productType), its 5th-normal-form
+// decomposition into three binary relations, and value dictionaries mapping
+// attribute domains to graph vertices.
+#ifndef TRIENUM_JOIN_RELATION_H_
+#define TRIENUM_JOIN_RELATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace trienum::join {
+
+/// A ternary tuple of the Sells table.
+struct Tuple3 {
+  std::uint32_t a = 0;  // salesperson
+  std::uint32_t b = 0;  // brand
+  std::uint32_t c = 0;  // productType
+
+  friend bool operator==(const Tuple3& x, const Tuple3& y) {
+    return x.a == y.a && x.b == y.b && x.c == y.c;
+  }
+  friend bool operator<(const Tuple3& x, const Tuple3& y) {
+    if (x.a != y.a) return x.a < y.a;
+    if (x.b != y.b) return x.b < y.b;
+    return x.c < y.c;
+  }
+};
+
+/// A binary relation over two attribute columns.
+struct BinaryRelation {
+  std::string lhs;  ///< attribute name of the first column
+  std::string rhs;  ///< attribute name of the second column
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> rows;
+};
+
+/// The 5NF decomposition of a ternary table: projections onto each
+/// attribute pair.
+struct Decomposition {
+  BinaryRelation ab;  // (salesperson, brand)
+  BinaryRelation bc;  // (brand, productType)
+  BinaryRelation ac;  // (salesperson, productType)
+};
+
+/// Projects `sells` onto its three attribute pairs (deduplicated, sorted).
+Decomposition Decompose(const std::vector<Tuple3>& sells);
+
+/// True if the table equals the natural join of its three projections —
+/// i.e. the table violates no join dependency and the 5NF decomposition is
+/// lossless (paper footnote 1).
+bool IsFifthNormalFormDecomposable(const std::vector<Tuple3>& sells);
+
+/// Reference natural join of the three projections (host hash join), for
+/// verifying the triangle-based join.
+std::vector<Tuple3> NaturalJoinReference(const Decomposition& d);
+
+}  // namespace trienum::join
+
+#endif  // TRIENUM_JOIN_RELATION_H_

@@ -1,0 +1,109 @@
+#include "join/triangle_join.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/algorithms.h"
+#include "core/sink.h"
+#include "graph/normalize.h"
+
+namespace trienum::join {
+namespace {
+
+/// Dictionary: attribute value <-> dense index.
+class Dictionary {
+ public:
+  std::uint32_t Intern(std::uint32_t value) {
+    auto [it, fresh] = index_.try_emplace(value, values_.size());
+    if (fresh) values_.push_back(value);
+    return it->second;
+  }
+  std::uint32_t size() const { return static_cast<std::uint32_t>(values_.size()); }
+  std::uint32_t ValueAt(std::uint32_t idx) const { return values_[idx]; }
+
+ private:
+  std::unordered_map<std::uint32_t, std::uint32_t> index_;
+  std::vector<std::uint32_t> values_;
+};
+
+}  // namespace
+
+Result<std::vector<Tuple3>> TriangleJoin(em::Context& ctx, const Decomposition& d,
+                                         std::string_view algorithm,
+                                         TriangleJoinStats* stats) {
+  const core::AlgorithmInfo* algo = core::FindAlgorithm(algorithm);
+  if (algo == nullptr) {
+    return Status::NotFound("unknown algorithm: " + std::string(algorithm));
+  }
+
+  // Intern all attribute values into three disjoint vertex ranges.
+  Dictionary da, db, dc;
+  for (const auto& [a, b] : d.ab.rows) {
+    da.Intern(a);
+    db.Intern(b);
+  }
+  for (const auto& [b, c] : d.bc.rows) {
+    db.Intern(b);
+    dc.Intern(c);
+  }
+  for (const auto& [a, c] : d.ac.rows) {
+    da.Intern(a);
+    dc.Intern(c);
+  }
+  const std::uint32_t base_b = da.size();
+  const std::uint32_t base_c = base_b + db.size();
+
+  std::vector<graph::Edge> edges;
+  edges.reserve(d.ab.rows.size() + d.bc.rows.size() + d.ac.rows.size());
+  for (const auto& [a, b] : d.ab.rows) {
+    edges.push_back(graph::Edge{da.Intern(a), base_b + db.Intern(b)});
+  }
+  for (const auto& [b, c] : d.bc.rows) {
+    edges.push_back(graph::Edge{base_b + db.Intern(b), base_c + dc.Intern(c)});
+  }
+  for (const auto& [a, c] : d.ac.rows) {
+    edges.push_back(graph::Edge{da.Intern(a), base_c + dc.Intern(c)});
+  }
+
+  std::vector<graph::VertexId> new_to_old;
+  graph::EmGraph g = graph::BuildEmGraph(ctx, edges, &new_to_old);
+
+  em::IoStats before = ctx.cache().stats();
+  std::vector<Tuple3> out;
+  core::CallbackSink sink([&](graph::VertexId x, graph::VertexId y,
+                              graph::VertexId z) {
+    // The union graph is tripartite, so each triangle has exactly one vertex
+    // per attribute range; decode back to attribute values.
+    Tuple3 t;
+    bool seen_a = false, seen_b = false, seen_c = false;
+    for (graph::VertexId v : {x, y, z}) {
+      graph::VertexId orig = new_to_old[v];
+      if (orig < base_b) {
+        t.a = da.ValueAt(orig);
+        seen_a = true;
+      } else if (orig < base_c) {
+        t.b = db.ValueAt(orig - base_b);
+        seen_b = true;
+      } else {
+        t.c = dc.ValueAt(orig - base_c);
+        seen_c = true;
+      }
+    }
+    TRIENUM_CHECK_MSG(seen_a && seen_b && seen_c,
+                      "triangle join produced a non-tripartite triangle");
+    out.push_back(t);
+  });
+  algo->run(ctx, g, sink);
+  ctx.cache().FlushAll();
+
+  if (stats != nullptr) {
+    stats->output_tuples = out.size();
+    stats->io = ctx.cache().stats() - before;
+    stats->graph_edges = g.num_edges();
+    stats->graph_vertices = g.num_vertices;
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace trienum::join

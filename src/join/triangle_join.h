@@ -1,0 +1,38 @@
+// The paper's motivating application: computing the natural join
+// R(A,B) |x| S(B,C) |x| T(A,C) — e.g. reconstructing a 5NF-decomposed
+// Sells table — *is* triangle enumeration on the union of the three
+// bipartite graphs (§1, "computing Sells is exactly the task of enumerating
+// all triangles in the union of these three graphs").
+//
+// Attribute values are mapped into three disjoint vertex ranges, the three
+// relations become one edge list, and each enumerated triangle is decoded
+// back into an output tuple. Any registered enumeration algorithm can drive
+// the join; emission order is pipelined straight into the consumer.
+#ifndef TRIENUM_JOIN_TRIANGLE_JOIN_H_
+#define TRIENUM_JOIN_TRIANGLE_JOIN_H_
+
+#include <string_view>
+#include <vector>
+
+#include "em/context.h"
+#include "join/relation.h"
+
+namespace trienum::join {
+
+struct TriangleJoinStats {
+  std::uint64_t output_tuples = 0;
+  em::IoStats io;
+  std::size_t graph_edges = 0;
+  std::uint32_t graph_vertices = 0;
+};
+
+/// Joins the three binary relations via triangle enumeration under the EM
+/// context `ctx` using the named algorithm (see core::FindAlgorithm).
+/// Returns the joined tuples, sorted; fills `stats` if non-null.
+Result<std::vector<Tuple3>> TriangleJoin(em::Context& ctx, const Decomposition& d,
+                                         std::string_view algorithm,
+                                         TriangleJoinStats* stats = nullptr);
+
+}  // namespace trienum::join
+
+#endif  // TRIENUM_JOIN_TRIANGLE_JOIN_H_

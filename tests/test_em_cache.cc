@@ -1,0 +1,141 @@
+// LRU cache simulator semantics: miss/hit accounting, eviction order,
+// write-allocate policy, flush/reset, and the scan-cost identity n/B that
+// the entire I/O methodology rests on.
+#include <gtest/gtest.h>
+
+#include "em/array.h"
+#include "test_util.h"
+
+namespace trienum {
+namespace {
+
+TEST(Cache, ColdScanCostsNOverB) {
+  em::Context ctx = test::MakeContext(/*m=*/1024, /*b=*/16);
+  const std::size_t n = 4096;
+  em::Array<std::uint64_t> a = ctx.Alloc<std::uint64_t>(n);
+  ctx.cache().Reset();
+  for (std::size_t i = 0; i < n; ++i) (void)a.Get(i);
+  EXPECT_EQ(ctx.cache().stats().block_reads, n / 16);
+  EXPECT_EQ(ctx.cache().stats().block_writes, 0u);
+}
+
+TEST(Cache, SequentialFreshWritesCostOnlyWrites) {
+  em::Context ctx = test::MakeContext(1024, 16);
+  const std::size_t n = 4096;
+  em::Array<std::uint64_t> a = ctx.Alloc<std::uint64_t>(n);
+  ctx.cache().Reset();
+  for (std::size_t i = 0; i < n; ++i) a.Set(i, i);
+  ctx.cache().FlushAll();
+  // Block-aligned fresh lines are allocated without fetching.
+  EXPECT_EQ(ctx.cache().stats().block_reads, 0u);
+  EXPECT_EQ(ctx.cache().stats().block_writes, n / 16);
+}
+
+TEST(Cache, UnalignedWriteFetchesTheLine) {
+  em::Context ctx = test::MakeContext(1024, 16);
+  em::Array<std::uint64_t> a = ctx.Alloc<std::uint64_t>(64);
+  ctx.cache().Reset();
+  a.Set(5, 42);  // mid-line write: must read-modify-write
+  ctx.cache().FlushAll();
+  EXPECT_EQ(ctx.cache().stats().block_reads, 1u);
+  EXPECT_EQ(ctx.cache().stats().block_writes, 1u);
+}
+
+TEST(Cache, WorkingSetWithinMIsFreeAfterWarmup) {
+  em::Context ctx = test::MakeContext(1024, 16);
+  const std::size_t n = 512;  // fits in M = 1024 words
+  em::Array<std::uint64_t> a = ctx.Alloc<std::uint64_t>(n);
+  for (std::size_t i = 0; i < n; ++i) (void)a.Get(i);  // warm up
+  em::IoStats warm = ctx.cache().stats();
+  for (int round = 0; round < 10; ++round) {
+    for (std::size_t i = 0; i < n; ++i) (void)a.Get(i);
+  }
+  EXPECT_EQ(ctx.cache().stats().block_reads, warm.block_reads);
+}
+
+TEST(Cache, WorkingSetBeyondMThrashes) {
+  em::Context ctx = test::MakeContext(1024, 16);
+  const std::size_t n = 4096;  // 4x internal memory
+  em::Array<std::uint64_t> a = ctx.Alloc<std::uint64_t>(n);
+  ctx.cache().Reset();
+  for (int round = 0; round < 3; ++round) {
+    for (std::size_t i = 0; i < n; ++i) (void)a.Get(i);
+  }
+  // A cyclic scan of 4M words under LRU misses every line, every round.
+  EXPECT_EQ(ctx.cache().stats().block_reads, 3 * n / 16);
+}
+
+TEST(Cache, LruKeepsHotLineResident) {
+  em::Context ctx = test::MakeContext(/*m=*/64, /*b=*/16);  // 4 lines
+  em::Array<std::uint64_t> a = ctx.Alloc<std::uint64_t>(1024);
+  ctx.cache().Reset();
+  // Touch line 0 between every excursion; it must never be evicted.
+  for (std::size_t i = 0; i < 32; ++i) {
+    (void)a.Get(0);
+    (void)a.Get(16 * (i % 3 + 1));
+  }
+  EXPECT_TRUE(ctx.cache().IsResident(a.AddrOf(0)));
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed) {
+  em::Context ctx = test::MakeContext(/*m=*/32, /*b=*/16);  // 2 lines
+  em::Array<std::uint64_t> a = ctx.Alloc<std::uint64_t>(64);
+  ctx.cache().Reset();
+  (void)a.Get(0);   // line 0
+  (void)a.Get(16);  // line 1
+  (void)a.Get(0);   // refresh line 0
+  (void)a.Get(32);  // line 2: must evict line 1
+  EXPECT_TRUE(ctx.cache().IsResident(a.AddrOf(0)));
+  EXPECT_FALSE(ctx.cache().IsResident(a.AddrOf(16)));
+  EXPECT_TRUE(ctx.cache().IsResident(a.AddrOf(32)));
+}
+
+TEST(Cache, DirtyEvictionCountsAsWrite) {
+  em::Context ctx = test::MakeContext(/*m=*/32, /*b=*/16);  // 2 lines
+  em::Array<std::uint64_t> a = ctx.Alloc<std::uint64_t>(64);
+  ctx.cache().Reset();
+  a.Set(0, 1);      // dirty line 0 (aligned fresh write: no read)
+  (void)a.Get(16);  // line 1
+  (void)a.Get(32);  // evicts line 0 -> writeback
+  EXPECT_EQ(ctx.cache().stats().block_writes, 1u);
+}
+
+TEST(Cache, ResetZeroesCountersAndResidency) {
+  em::Context ctx = test::MakeContext(1024, 16);
+  em::Array<std::uint64_t> a = ctx.Alloc<std::uint64_t>(256);
+  for (std::size_t i = 0; i < 256; ++i) a.Set(i, i);
+  ctx.cache().Reset();
+  EXPECT_EQ(ctx.cache().stats().block_reads, 0u);
+  EXPECT_EQ(ctx.cache().stats().block_writes, 0u);
+  EXPECT_FALSE(ctx.cache().IsResident(a.AddrOf(0)));
+  // Data survives a reset (only accounting state is dropped).
+  EXPECT_EQ(a.Get(7), 7u);
+}
+
+TEST(Cache, CountingOffIsNoOp) {
+  em::Context ctx = test::MakeContext(1024, 16);
+  em::Array<std::uint64_t> a = ctx.Alloc<std::uint64_t>(256);
+  ctx.cache().Reset();
+  ctx.cache().set_counting(false);
+  for (std::size_t i = 0; i < 256; ++i) (void)a.Get(i);
+  EXPECT_EQ(ctx.cache().stats().total_ios(), 0u);
+  ctx.cache().set_counting(true);
+}
+
+TEST(Cache, StraddlingRecordTouchesBothLines) {
+  em::Context ctx = test::MakeContext(1024, 16);
+  em::Array<std::uint64_t> a = ctx.Alloc<std::uint64_t>(64);
+  ctx.cache().Reset();
+  ctx.cache().TouchRange(a.AddrOf(15), 2, /*write=*/false);  // words 15,16
+  EXPECT_EQ(ctx.cache().stats().block_reads, 2u);
+}
+
+TEST(Cache, DataRoundTripThroughDevice) {
+  em::Context ctx = test::MakeContext(128, 16);
+  em::Array<std::uint64_t> a = ctx.Alloc<std::uint64_t>(1000);
+  for (std::size_t i = 0; i < 1000; ++i) a.Set(i, i * i);
+  for (std::size_t i = 0; i < 1000; ++i) ASSERT_EQ(a.Get(i), i * i);
+}
+
+}  // namespace
+}  // namespace trienum

@@ -1,0 +1,139 @@
+// Cache-oblivious lazy funnelsort: correctness across sizes/patterns, true
+// obliviousness (identical data movement for any M/B), and I/O behaviour
+// tracking the sort bound.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "extsort/ext_merge_sort.h"
+#include "extsort/funnel_sort.h"
+#include "extsort/scan_ops.h"
+#include "test_util.h"
+
+namespace trienum {
+namespace {
+
+class FunnelSortSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FunnelSortSizeTest, SortsRandomInput) {
+  const std::size_t n = GetParam();
+  em::Context ctx = test::MakeContext(1 << 12, 16);
+  em::Array<std::uint64_t> a = ctx.Alloc<std::uint64_t>(n);
+  SplitMix64 rng(n + 1);
+  std::vector<std::uint64_t> host(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    host[i] = rng.Next() % (n + 3);
+    a.Set(i, host[i]);
+  }
+  extsort::FunnelSort(ctx, a, std::less<std::uint64_t>{});
+  std::sort(host.begin(), host.end());
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(a.Get(i), host[i]) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FunnelSortSizeTest,
+                         ::testing::Values(0, 1, 2, 3, 63, 64, 65, 100, 512,
+                                           1000, 4096, 10000, 50000));
+
+TEST(FunnelSort, SortedAndReversedInputs) {
+  for (bool reversed : {false, true}) {
+    const std::size_t n = 3000;
+    em::Context ctx = test::MakeContext();
+    em::Array<std::uint64_t> a = ctx.Alloc<std::uint64_t>(n);
+    for (std::size_t i = 0; i < n; ++i) a.Set(i, reversed ? n - i : i);
+    extsort::FunnelSort(ctx, a, std::less<std::uint64_t>{});
+    for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(a.Get(i), reversed ? i + 1 : i);
+  }
+}
+
+TEST(FunnelSort, StructRecordsWithComparator) {
+  const std::size_t n = 2000;
+  em::Context ctx = test::MakeContext();
+  em::Array<graph::ColoredEdge> a = ctx.Alloc<graph::ColoredEdge>(n);
+  SplitMix64 rng(8);
+  for (std::size_t i = 0; i < n; ++i) {
+    a.Set(i, graph::ColoredEdge{static_cast<graph::VertexId>(rng.Below(100)),
+                                static_cast<graph::VertexId>(rng.Below(100)),
+                                static_cast<std::uint32_t>(rng.Below(4)),
+                                static_cast<std::uint32_t>(rng.Below(4))});
+  }
+  extsort::FunnelSort(ctx, a, graph::LexLess{});
+  EXPECT_TRUE(extsort::IsSorted(a, graph::LexLess{}));
+}
+
+// The defining property of a cache-oblivious algorithm: the *computation* is
+// independent of M and B. We verify the exact output equality across
+// hierarchy configurations, and that the code truly never consulted them by
+// construction (FunnelSort has no M/B parameter to read).
+TEST(FunnelSort, OutputIndependentOfHierarchyParameters) {
+  const std::size_t n = 5000;
+  std::vector<std::uint64_t> first;
+  for (auto [m, b] : std::vector<std::pair<std::size_t, std::size_t>>{
+           {256, 8}, {1 << 12, 16}, {1 << 16, 128}}) {
+    em::Context ctx = test::MakeContext(m, b);
+    em::Array<std::uint64_t> a = ctx.Alloc<std::uint64_t>(n);
+    SplitMix64 rng(12345);
+    for (std::size_t i = 0; i < n; ++i) a.Set(i, rng.Next());
+    extsort::FunnelSort(ctx, a, std::less<std::uint64_t>{});
+    std::vector<std::uint64_t> out(n);
+    for (std::size_t i = 0; i < n; ++i) out[i] = a.Get(i);
+    if (first.empty()) {
+      first = out;
+    } else {
+      EXPECT_EQ(out, first);
+    }
+  }
+}
+
+TEST(FunnelSort, IoDecreasesWithLargerMemory) {
+  const std::size_t n = 1 << 15;
+  auto run = [&](std::size_t m) {
+    em::Context ctx = test::MakeContext(m, 16);
+    em::Array<std::uint64_t> a = ctx.Alloc<std::uint64_t>(n);
+    SplitMix64 rng(7);
+    ctx.cache().set_counting(false);
+    for (std::size_t i = 0; i < n; ++i) a.Set(i, rng.Next());
+    ctx.cache().set_counting(true);
+    ctx.cache().Reset();
+    extsort::FunnelSort(ctx, a, std::less<std::uint64_t>{});
+    ctx.cache().FlushAll();
+    return ctx.cache().stats().total_ios();
+  };
+  std::uint64_t small = run(512);
+  std::uint64_t large = run(1 << 14);
+  // Same program, bigger cache => strictly fewer misses (recursive locality).
+  EXPECT_LT(large, small);
+  // With M = 16K words, everything fits: near-compulsory misses only.
+  EXPECT_LE(large, 6u * n / 16);
+}
+
+TEST(FunnelSort, IoWithinConstantOfSortBound) {
+  const std::size_t n = 1 << 15;
+  const std::size_t m = 1 << 10, b = 16;
+  em::Context ctx = test::MakeContext(m, b);
+  em::Array<std::uint64_t> a = ctx.Alloc<std::uint64_t>(n);
+  SplitMix64 rng(7);
+  ctx.cache().set_counting(false);
+  for (std::size_t i = 0; i < n; ++i) a.Set(i, rng.Next());
+  ctx.cache().set_counting(true);
+  ctx.cache().Reset();
+  extsort::FunnelSort(ctx, a, std::less<std::uint64_t>{});
+  ctx.cache().FlushAll();
+  double measured = static_cast<double>(ctx.cache().stats().total_ios());
+  double bound = extsort::SortIoBound(n, 1, m, b);
+  // Funnelsort moves node records and buffers too; allow a generous constant
+  // but demand the right order of magnitude.
+  EXPECT_LE(measured, 20.0 * bound);
+}
+
+TEST(FunnelBufferCap, GrowsAsPromised) {
+  using extsort::internal::FunnelBufferCap;
+  EXPECT_EQ(FunnelBufferCap(1), 4u);
+  EXPECT_EQ(FunnelBufferCap(2), 8u);
+  EXPECT_EQ(FunnelBufferCap(3), 32u);
+  EXPECT_EQ(FunnelBufferCap(4), 64u);
+  EXPECT_EQ(FunnelBufferCap(5), 256u);
+}
+
+}  // namespace
+}  // namespace trienum

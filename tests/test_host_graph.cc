@@ -1,0 +1,70 @@
+// HostGraph adjacency structure and the host reference enumerator.
+#include <gtest/gtest.h>
+
+#include "core/reference.h"
+#include "graph/host_graph.h"
+#include "test_util.h"
+
+namespace trienum {
+namespace {
+
+using namespace trienum::graph;
+
+TEST(HostGraph, BuildsCanonicalForm) {
+  HostGraph g({Edge{5, 2}, Edge{2, 5}, Edge{2, 2}, Edge{7, 5}});
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_TRUE(g.HasEdge(2, 5));
+  EXPECT_TRUE(g.HasEdge(5, 2));
+  EXPECT_TRUE(g.HasEdge(5, 7));
+  EXPECT_FALSE(g.HasEdge(2, 7));
+  EXPECT_FALSE(g.HasEdge(2, 2));
+  EXPECT_FALSE(g.HasEdge(1, 99));
+}
+
+TEST(HostGraph, DegreesAndForwardLists) {
+  HostGraph g({Edge{0, 1}, Edge{0, 2}, Edge{0, 3}, Edge{1, 2}});
+  EXPECT_EQ(g.Degree(0), 3u);
+  EXPECT_EQ(g.Degree(1), 2u);
+  EXPECT_EQ(g.Degree(3), 1u);
+  EXPECT_EQ(g.Degree(42), 0u);
+  EXPECT_EQ(g.Forward(0), (std::vector<VertexId>{1, 2, 3}));
+  EXPECT_EQ(g.Forward(3), std::vector<VertexId>{});
+}
+
+TEST(Reference, KnownCounts) {
+  EXPECT_EQ(core::CountTrianglesHost(Clique(4)), 4u);
+  EXPECT_EQ(core::CountTrianglesHost(Clique(10)), 120u);
+  EXPECT_EQ(core::CountTrianglesHost(CompleteTripartite(2, 2, 2)), 8u);
+  // Petersen graph: famously triangle-free.
+  std::vector<Edge> petersen = {
+      Edge{0, 1}, Edge{1, 2}, Edge{2, 3}, Edge{3, 4}, Edge{0, 4},   // outer C5
+      Edge{5, 7}, Edge{7, 9}, Edge{9, 6}, Edge{6, 8}, Edge{8, 5},   // pentagram
+      Edge{0, 5}, Edge{1, 6}, Edge{2, 7}, Edge{3, 8}, Edge{4, 9}};  // spokes
+  EXPECT_EQ(core::CountTrianglesHost(petersen), 0u);
+}
+
+TEST(Reference, ListMatchesCountAndIsSortedUnique) {
+  auto edges = Gnm(100, 600, 13);
+  auto tris = core::ListTrianglesHost(edges);
+  EXPECT_EQ(tris.size(), core::CountTrianglesHost(edges));
+  EXPECT_TRUE(test::NoDuplicates(tris));
+  for (const Triangle& t : tris) {
+    EXPECT_LT(t.a, t.b);
+    EXPECT_LT(t.b, t.c);
+    HostGraph g(edges);
+    EXPECT_TRUE(g.HasEdge(t.a, t.b));
+    EXPECT_TRUE(g.HasEdge(t.b, t.c));
+    EXPECT_TRUE(g.HasEdge(t.a, t.c));
+  }
+}
+
+TEST(Reference, HandlesUnnormalizedInput) {
+  // Duplicates, reversed orientation and self-loops must not distort counts.
+  std::vector<Edge> messy = {Edge{2, 1}, Edge{1, 2}, Edge{2, 3}, Edge{3, 1},
+                             Edge{1, 1}, Edge{3, 2}};
+  EXPECT_EQ(core::CountTrianglesHost(messy), 1u);
+}
+
+}  // namespace
+}  // namespace trienum

@@ -1,0 +1,94 @@
+// Theorem 3: the lower bound formulas, their witnesses, and the empirical
+// fact that no implemented algorithm beats the bound (sanity of both the
+// bound and the I/O accounting).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/algorithms.h"
+#include "core/lower_bound.h"
+#include "test_util.h"
+
+namespace trienum {
+namespace {
+
+using namespace trienum::graph;
+
+TEST(LowerBound, CliqueTriangleCounts) {
+  EXPECT_EQ(core::CliqueTriangles(2), 0u);
+  EXPECT_EQ(core::CliqueTriangles(3), 1u);
+  EXPECT_EQ(core::CliqueTriangles(10), 120u);
+  EXPECT_EQ(core::CliqueTriangles(64), 41664u);
+}
+
+TEST(LowerBound, KruskalKatonaTightOnCliques) {
+  // K_k has C(k,2) edges and C(k,3) triangles; the bound (2m)^{3/2}/6 must
+  // dominate and be asymptotically tight.
+  for (std::uint64_t k : {10ull, 50ull, 200ull}) {
+    double m = static_cast<double>(k * (k - 1) / 2);
+    double t = static_cast<double>(core::CliqueTriangles(k));
+    double bound = core::MaxTrianglesWithEdges(m);
+    EXPECT_GE(bound, t);
+    EXPECT_LE(bound, t * 1.4) << "bound should be near-tight on cliques, k=" << k;
+  }
+}
+
+TEST(LowerBound, FormulaMonotonicity) {
+  EXPECT_GT(core::IoLowerBound(2000000, 1 << 10, 16),
+            core::IoLowerBound(1000000, 1 << 10, 16));
+  EXPECT_GT(core::IoLowerBound(1000000, 1 << 8, 16),
+            core::IoLowerBound(1000000, 1 << 12, 16));
+  EXPECT_GT(core::IoLowerBound(1000000, 1 << 10, 8),
+            core::IoLowerBound(1000000, 1 << 10, 64));
+}
+
+TEST(LowerBound, EdgeReadingTermDominatesForSmallT) {
+  // With few triangles, the t^{2/3}/B term governs.
+  std::size_t m = 1 << 20, b = 16;
+  double lb = core::IoLowerBound(1000, m, b);
+  EXPECT_NEAR(lb, std::pow(1000.0, 2.0 / 3.0) / b, lb * 0.5);
+}
+
+TEST(LowerBound, NoAlgorithmBeatsTheEpochBound) {
+  // On K_48 (t = 17296 = Theta(E^{3/2})) with small memory, every
+  // algorithm's measured I/Os must exceed the constant-explicit epoch bound.
+  const std::size_t m = 1 << 8, b = 16;
+  auto raw = Clique(48);
+  const std::uint64_t t = core::CliqueTriangles(48);
+  for (const core::AlgorithmInfo& a : core::AllAlgorithms()) {
+    em::Context ctx = test::MakeContext(m, b);
+    EmGraph g = BuildEmGraph(ctx, raw);
+    ctx.cache().Reset();
+    core::CountingSink sink;
+    a.run(ctx, g, sink);
+    ctx.cache().FlushAll();
+    ASSERT_EQ(sink.count(), t) << a.name;
+    double measured = static_cast<double>(ctx.cache().stats().total_ios());
+    EXPECT_GE(measured, core::IoLowerBoundEpoch(t, m, b)) << a.name;
+  }
+}
+
+TEST(LowerBound, OptimalityGapIsBoundedOnCliques) {
+  // The paper's algorithms are optimal up to constants: the measured I/Os on
+  // the lower-bound witness family must stay within a constant multiple of
+  // the asymptotic bound t/(sqrt(M)B).
+  const std::size_t m = 1 << 9, b = 16;
+  auto raw = Clique(64);
+  const std::uint64_t t = core::CliqueTriangles(64);
+  for (const char* name : {"ps-cache-aware", "ps-cache-oblivious"}) {
+    em::Context ctx = test::MakeContext(m, b);
+    EmGraph g = BuildEmGraph(ctx, raw);
+    ctx.cache().Reset();
+    core::CountingSink sink;
+    core::FindAlgorithm(name)->run(ctx, g, sink);
+    ctx.cache().FlushAll();
+    ASSERT_EQ(sink.count(), t);
+    double measured = static_cast<double>(ctx.cache().stats().total_ios());
+    double lb = core::IoLowerBound(t, m, b);
+    EXPECT_LE(measured, 400.0 * lb) << name;
+    EXPECT_GE(measured, lb) << name;
+  }
+}
+
+}  // namespace
+}  // namespace trienum

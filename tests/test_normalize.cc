@@ -1,0 +1,134 @@
+// The §1.3 normalization pipeline: canonical invariants (lex order, u < v,
+// degree-ranked ids), correctness of the degree array, the inverse
+// relabeling, duplicate/self-loop removal, idempotence, and its O(sort E)
+// I/O envelope.
+#include <gtest/gtest.h>
+
+#include "extsort/ext_merge_sort.h"
+#include "graph/host_graph.h"
+#include "test_util.h"
+
+namespace trienum {
+namespace {
+
+using namespace trienum::graph;
+
+TEST(Normalize, CanonicalInvariants) {
+  em::Context ctx = test::MakeContext();
+  auto raw = Gnm(150, 600, 21);
+  EmGraph g = BuildEmGraph(ctx, raw);
+  std::vector<Edge> edges = DownloadEdges(g);
+
+  ASSERT_EQ(edges.size(), 600u);
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    EXPECT_LT(edges[i].u, edges[i].v);
+    EXPECT_LT(edges[i].v, g.num_vertices);
+    if (i > 0) {
+      EXPECT_TRUE(edges[i - 1] < edges[i]);  // strict lex order
+    }
+  }
+}
+
+TEST(Normalize, DegreeArrayMatchesAndIsSorted) {
+  em::Context ctx = test::MakeContext();
+  auto raw = Gnm(80, 400, 4);
+  EmGraph g = BuildEmGraph(ctx, raw);
+  std::vector<Edge> edges = DownloadEdges(g);
+
+  std::vector<std::uint32_t> deg(g.num_vertices, 0);
+  for (const Edge& e : edges) {
+    ++deg[e.u];
+    ++deg[e.v];
+  }
+  ctx.cache().set_counting(false);
+  for (VertexId v = 0; v < g.num_vertices; ++v) {
+    EXPECT_EQ(g.degrees.Get(v), deg[v]) << "vertex " << v;
+    if (v > 0) {
+      EXPECT_LE(g.degrees.Get(v - 1), g.degrees.Get(v));
+    }
+  }
+}
+
+TEST(Normalize, RemovesSelfLoopsAndDuplicates) {
+  em::Context ctx = test::MakeContext();
+  std::vector<Edge> raw = {Edge{1, 2}, Edge{2, 1}, Edge{1, 2}, Edge{3, 3},
+                           Edge{2, 3}, Edge{5, 5}, Edge{3, 2}};
+  EmGraph g = BuildEmGraph(ctx, raw);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.num_vertices, 3u);
+}
+
+TEST(Normalize, EmptyAndAllLoopInputs) {
+  em::Context ctx = test::MakeContext();
+  EXPECT_EQ(BuildEmGraph(ctx, {}).num_edges(), 0u);
+  EXPECT_EQ(BuildEmGraph(ctx, {Edge{4, 4}, Edge{9, 9}}).num_edges(), 0u);
+}
+
+TEST(Normalize, InverseMappingReconstructsInput) {
+  em::Context ctx = test::MakeContext();
+  auto raw = Gnm(60, 250, 77);
+  std::vector<VertexId> new_to_old;
+  EmGraph g = BuildEmGraph(ctx, raw, &new_to_old);
+  ASSERT_EQ(new_to_old.size(), g.num_vertices);
+
+  HostGraph original(raw);
+  std::vector<Edge> mapped;
+  for (const Edge& e : DownloadEdges(g)) {
+    VertexId a = new_to_old[e.u], b = new_to_old[e.v];
+    mapped.push_back(Edge{std::min(a, b), std::max(a, b)});
+  }
+  HostGraph roundtrip(mapped);
+  EXPECT_EQ(roundtrip.CanonicalEdges(), original.CanonicalEdges());
+}
+
+TEST(Normalize, SparseHugeIdsCompressed) {
+  em::Context ctx = test::MakeContext();
+  std::vector<Edge> raw = {Edge{1000000, 2000000}, Edge{2000000, 3000000},
+                           Edge{1000000, 3000000}};
+  EmGraph g = BuildEmGraph(ctx, raw);
+  EXPECT_EQ(g.num_vertices, 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  // Triangle structure preserved.
+  EXPECT_EQ(core::ListTrianglesHost(DownloadEdges(g)).size(), 1u);
+}
+
+TEST(Normalize, IdempotentOnNormalizedInput) {
+  em::Context ctx = test::MakeContext();
+  auto raw = Gnm(50, 200, 9);
+  EmGraph g1 = BuildEmGraph(ctx, raw);
+  std::vector<Edge> once = DownloadEdges(g1);
+  EmGraph g2 = BuildEmGraph(ctx, once);
+  std::vector<Edge> twice = DownloadEdges(g2);
+  EXPECT_EQ(once, twice);  // degree-ranked ids are a fixed point
+}
+
+TEST(Normalize, DegreeOrderingPutsHubsLast) {
+  em::Context ctx = test::MakeContext();
+  // Star: the center has degree 40, every leaf degree 1 => the center must
+  // be the largest id after relabeling.
+  EmGraph g = BuildEmGraph(ctx, Star(40));
+  ctx.cache().set_counting(false);
+  EXPECT_EQ(g.degrees.Get(g.num_vertices - 1), 40u);
+  for (VertexId v = 0; v + 1 < g.num_vertices; ++v) {
+    EXPECT_EQ(g.degrees.Get(v), 1u);
+  }
+}
+
+TEST(Normalize, IoWithinSortEnvelope) {
+  const std::size_t n = 1 << 14;
+  const std::size_t m = 1 << 10, b = 16;
+  em::Context ctx = test::MakeContext(m, b);
+  auto raw = Gnm(5000, n, 31);
+  em::Array<Edge> dev = ctx.Alloc<Edge>(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) dev.Set(i, raw[i]);
+  ctx.cache().Reset();
+  NormalizeEdges(ctx, dev);
+  ctx.cache().FlushAll();
+  double measured = static_cast<double>(ctx.cache().stats().total_ios());
+  // The pipeline is a constant number of sorts and scans of <= 2E records.
+  double bound = 12.0 * extsort::SortIoBound(2 * n, 1, m, b);
+  EXPECT_LE(measured, bound);
+}
+
+}  // namespace
+}  // namespace trienum

@@ -1,0 +1,96 @@
+// Streaming scan primitives: filter/transform/unique/copy semantics and
+// their exact O(n/B) I/O cost.
+#include <gtest/gtest.h>
+
+#include "extsort/scan_ops.h"
+#include "test_util.h"
+
+namespace trienum {
+namespace {
+
+TEST(ScanOps, FilterKeepsOrderAndCount) {
+  em::Context ctx = test::MakeContext();
+  em::Array<std::uint64_t> a = ctx.Alloc<std::uint64_t>(100);
+  for (std::size_t i = 0; i < 100; ++i) a.Set(i, i);
+  std::size_t kept =
+      extsort::Filter(a, a, [](std::uint64_t v) { return v % 3 == 0; });
+  EXPECT_EQ(kept, 34u);
+  for (std::size_t i = 0; i < kept; ++i) EXPECT_EQ(a.Get(i), 3 * i);
+}
+
+TEST(ScanOps, FilterInPlaceAliasingIsSafe) {
+  // Writes trail reads, so src may alias dst.
+  em::Context ctx = test::MakeContext();
+  em::Array<std::uint64_t> a = ctx.Alloc<std::uint64_t>(1000);
+  for (std::size_t i = 0; i < 1000; ++i) a.Set(i, i);
+  std::size_t kept =
+      extsort::Filter(a, a, [](std::uint64_t v) { return v >= 500; });
+  EXPECT_EQ(kept, 500u);
+  EXPECT_EQ(a.Get(0), 500u);
+  EXPECT_EQ(a.Get(499), 999u);
+}
+
+TEST(ScanOps, TransformToDifferentType) {
+  em::Context ctx = test::MakeContext();
+  em::Array<graph::Edge> a = ctx.Alloc<graph::Edge>(10);
+  for (std::size_t i = 0; i < 10; ++i) {
+    a.Set(i, graph::Edge{static_cast<graph::VertexId>(i),
+                         static_cast<graph::VertexId>(i + 1)});
+  }
+  em::Array<std::uint64_t> out = ctx.Alloc<std::uint64_t>(10);
+  extsort::Transform(a, out,
+                     [](const graph::Edge& e) { return std::uint64_t{e.u + e.v}; });
+  EXPECT_EQ(out.Get(3), 7u);
+}
+
+TEST(ScanOps, UniqueConsecutive) {
+  em::Context ctx = test::MakeContext();
+  em::Array<std::uint64_t> a = ctx.Alloc<std::uint64_t>(9);
+  std::uint64_t vals[] = {1, 1, 2, 2, 2, 3, 1, 1, 4};
+  for (std::size_t i = 0; i < 9; ++i) a.Set(i, vals[i]);
+  std::size_t n = extsort::UniqueConsecutive(
+      a, [](std::uint64_t x, std::uint64_t y) { return x == y; });
+  EXPECT_EQ(n, 5u);  // 1 2 3 1 4
+  std::uint64_t expect[] = {1, 2, 3, 1, 4};
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(a.Get(i), expect[i]);
+}
+
+TEST(ScanOps, CountIfAndIsSorted) {
+  em::Context ctx = test::MakeContext();
+  em::Array<std::uint64_t> a = ctx.Alloc<std::uint64_t>(50);
+  for (std::size_t i = 0; i < 50; ++i) a.Set(i, i * 2);
+  EXPECT_EQ(extsort::CountIf(a, [](std::uint64_t v) { return v < 20; }), 10u);
+  EXPECT_TRUE(extsort::IsSorted(a, std::less<std::uint64_t>{}));
+  a.Set(20, 0);
+  EXPECT_FALSE(extsort::IsSorted(a, std::less<std::uint64_t>{}));
+}
+
+TEST(ScanOps, ScanCostIsNOverB) {
+  const std::size_t n = 1 << 14, b = 16;
+  em::Context ctx = test::MakeContext(1 << 8, b);
+  em::Array<std::uint64_t> src = ctx.Alloc<std::uint64_t>(n);
+  em::Array<std::uint64_t> dst = ctx.Alloc<std::uint64_t>(n);
+  ctx.cache().set_counting(false);
+  for (std::size_t i = 0; i < n; ++i) src.Set(i, i);
+  ctx.cache().set_counting(true);
+  ctx.cache().Reset();
+  extsort::Copy(src, dst);
+  ctx.cache().FlushAll();
+  // One read + one write stream: 2n/B block transfers exactly.
+  EXPECT_EQ(ctx.cache().stats().total_ios(), 2 * n / b);
+}
+
+TEST(ScanOps, ForEachVisitsAllInOrder) {
+  em::Context ctx = test::MakeContext();
+  em::Array<std::uint64_t> a = ctx.Alloc<std::uint64_t>(20);
+  for (std::size_t i = 0; i < 20; ++i) a.Set(i, i);
+  std::uint64_t next = 0;
+  extsort::ForEach(a, [&next](std::uint64_t v) {
+    EXPECT_EQ(v, next);
+    ++next;
+  });
+  EXPECT_EQ(next, 20u);
+}
+
+}  // namespace
+}  // namespace trienum

@@ -1,0 +1,140 @@
+// Sinks (emission semantics) and graph file I/O.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/sink.h"
+#include "graph/graph_io.h"
+#include "test_util.h"
+
+namespace trienum {
+namespace {
+
+using namespace trienum::graph;
+
+TEST(Sinks, CountingAndChecksumAgree) {
+  core::CountingSink count;
+  core::ChecksumSink sum;
+  core::TeeSink tee(&count, &sum);
+  tee.Emit(1, 2, 3);
+  tee.Emit(2, 5, 9);
+  EXPECT_EQ(count.count(), 2u);
+  EXPECT_EQ(sum.count(), 2u);
+}
+
+TEST(Sinks, ChecksumIsOrderInvariant) {
+  core::ChecksumSink a, b;
+  a.Emit(1, 2, 3);
+  a.Emit(4, 5, 6);
+  b.Emit(4, 5, 6);
+  b.Emit(1, 2, 3);
+  EXPECT_EQ(a.checksum(), b.checksum());
+}
+
+TEST(Sinks, ChecksumDistinguishesDifferentSets) {
+  core::ChecksumSink a, b;
+  a.Emit(1, 2, 3);
+  b.Emit(1, 2, 4);
+  EXPECT_NE(a.checksum(), b.checksum());
+}
+
+TEST(Sinks, ChecksumRejectsUnsortedTriples) {
+  core::ChecksumSink s;
+  EXPECT_DEATH(s.Emit(3, 2, 1), "CHECK");
+}
+
+TEST(Sinks, CallbackForwardsInOrder) {
+  std::vector<Triangle> seen;
+  core::CallbackSink cb([&seen](VertexId a, VertexId b, VertexId c) {
+    seen.push_back(Triangle{a, b, c});
+  });
+  cb.Emit(1, 2, 3);
+  cb.Emit(0, 7, 9);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[1], (Triangle{0, 7, 9}));
+}
+
+class GraphIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "trienum_io_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(GraphIoTest, TextRoundTrip) {
+  auto edges = Gnm(50, 120, 3);
+  ASSERT_TRUE(WriteEdgeListText(Path("g.txt"), edges).ok());
+  auto back = ReadEdgeListText(Path("g.txt"));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, edges);
+}
+
+TEST_F(GraphIoTest, BinaryRoundTrip) {
+  auto edges = Gnm(50, 120, 4);
+  ASSERT_TRUE(WriteEdgeListBinary(Path("g.bin"), edges).ok());
+  auto back = ReadEdgeListBinary(Path("g.bin"));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, edges);
+}
+
+TEST_F(GraphIoTest, TextCommentsAndBlanksSkipped) {
+  {
+    std::FILE* f = std::fopen(Path("c.txt").c_str(), "w");
+    std::fputs("# comment\n\n% another\n3 4\n5 6\n", f);
+    std::fclose(f);
+  }
+  auto back = ReadEdgeListText(Path("c.txt"));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->size(), 2u);
+  EXPECT_EQ((*back)[0], (Edge{3, 4}));
+}
+
+TEST_F(GraphIoTest, ParseErrorsAreStatuses) {
+  {
+    std::FILE* f = std::fopen(Path("bad.txt").c_str(), "w");
+    std::fputs("1 2\nnot numbers\n", f);
+    std::fclose(f);
+  }
+  auto bad = ReadEdgeListText(Path("bad.txt"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+
+  auto missing = ReadEdgeListText(Path("does_not_exist.txt"));
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(GraphIoTest, OversizedIdsRejected) {
+  {
+    std::FILE* f = std::fopen(Path("big.txt").c_str(), "w");
+    std::fputs("1 99999999999\n", f);
+    std::fclose(f);
+  }
+  auto bad = ReadEdgeListText(Path("big.txt"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(Status, BasicsAndResult) {
+  Status ok = Status::OK();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ToString(), "OK");
+  Status err = Status::InvalidArgument("bad");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.ToString(), "InvalidArgument: bad");
+
+  Result<int> good = 7;
+  EXPECT_TRUE(good.ok());
+  EXPECT_EQ(*good, 7);
+  Result<int> bad = Status::NotFound("x");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace trienum

@@ -1,0 +1,32 @@
+// End-to-end smoke test: every registered algorithm enumerates K5 correctly
+// under a small simulated memory. Deeper per-module suites live in the other
+// test files; this one exists to catch wiring breakage early.
+#include <gtest/gtest.h>
+
+#include "core/algorithms.h"
+#include "core/reference.h"
+#include "graph/generators.h"
+#include "graph/normalize.h"
+
+namespace trienum {
+namespace {
+
+TEST(Smoke, AllAlgorithmsOnK5) {
+  for (const core::AlgorithmInfo& algo : core::AllAlgorithms()) {
+    em::EmConfig cfg;
+    cfg.memory_words = 1 << 12;
+    cfg.block_words = 16;
+    em::Context ctx(cfg);
+    graph::EmGraph g = graph::BuildEmGraph(ctx, graph::Clique(5));
+    core::CountingSink sink;
+    algo.run(ctx, g, sink);
+    EXPECT_EQ(sink.count(), 10u) << algo.name;
+  }
+}
+
+TEST(Smoke, ReferenceOnK5) {
+  EXPECT_EQ(core::CountTrianglesHost(graph::Clique(5)), 10u);
+}
+
+}  // namespace
+}  // namespace trienum
