@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Runs every built bench binary with --benchmark_format=json, writing one
+# BENCH_<name>.json per bench into the output directory — the perf trajectory
+# the repo accumulates across PRs.
+#
+#   $ cmake -B build -S . -DTRIENUM_BUILD_BENCHMARKS=ON
+#   $ cmake --build build -j
+#   $ bench/run_benches.sh [build-dir] [out-dir] [extra benchmark args...]
+set -euo pipefail
+
+build_dir="${1:-build}"
+out_dir="${2:-.}"
+shift $(( $# > 2 ? 2 : $# )) || true
+
+bench_dir="${build_dir}/bench"
+if [[ ! -d "${bench_dir}" ]]; then
+  echo "error: ${bench_dir} not found." >&2
+  echo "Configure with -DTRIENUM_BUILD_BENCHMARKS=ON and build first." >&2
+  exit 1
+fi
+
+mkdir -p "${out_dir}"
+found=0
+for bin in "${bench_dir}"/bench_*; do
+  [[ -f "${bin}" && -x "${bin}" ]] || continue
+  found=1
+  name="$(basename "${bin}")"
+  out="${out_dir}/BENCH_${name#bench_}.json"
+  echo "== ${name} -> ${out}"
+  "${bin}" --benchmark_format=json "$@" > "${out}"
+done
+
+if [[ "${found}" -eq 0 ]]; then
+  echo "error: no bench_* executables in ${bench_dir}" >&2
+  exit 1
+fi
+echo "done."

@@ -28,7 +28,9 @@ const std::vector<AlgorithmInfo>& AllAlgorithms();
 
 /// Lookup by name; nullptr if absent. Names: "ps-cache-aware",
 /// "ps-cache-oblivious", "ps-deterministic", "mgt", "dementiev",
-/// "edge-iterator", "bnl".
+/// "edge-iterator", "chu-cheng", "bnl".
+/// (tests/test_registry_names.cc asserts this list stays in sync with
+/// AllAlgorithms(); update both together.)
 const AlgorithmInfo* FindAlgorithm(std::string_view name);
 
 }  // namespace trienum::core

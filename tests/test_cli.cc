@@ -1,0 +1,100 @@
+// Smoke tests for the `trienum` CLI driver: shells out to the built binary
+// (path injected by tests/CMakeLists.txt as TRIENUM_CLI_PATH) and checks
+// `list` against the registry and `count` against the host reference.
+#include <sys/wait.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/algorithms.h"
+#include "core/reference.h"
+#include "graph/generators.h"
+
+namespace trienum {
+namespace {
+
+// Runs `TRIENUM_CLI_PATH <args>`, captures stdout, and returns it; fails the
+// test if the process does not exit cleanly with `expected_status`.
+std::string RunCli(const std::string& args, int expected_status = 0) {
+  // Quote the binary path: the build directory may contain spaces.
+  std::string cmd = "\"" TRIENUM_CLI_PATH "\" " + args + " 2>/dev/null";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << cmd;
+  if (pipe == nullptr) return "";
+  std::string out;
+  std::array<char, 4096> buf;
+  std::size_t n;
+  while ((n = fread(buf.data(), 1, buf.size(), pipe)) > 0) {
+    out.append(buf.data(), n);
+  }
+  int rc = pclose(pipe);
+  EXPECT_TRUE(WIFEXITED(rc)) << cmd;
+  EXPECT_EQ(WEXITSTATUS(rc), expected_status) << cmd << "\noutput:\n" << out;
+  return out;
+}
+
+// Extracts the value of a "key = value" report line.
+std::string ReportValue(const std::string& out, const std::string& key) {
+  std::string needle = key + " = ";
+  std::size_t pos = out.find(needle);
+  if (pos == std::string::npos) {
+    ADD_FAILURE() << "no '" << needle << "' line in:\n" << out;
+    return "";
+  }
+  std::size_t start = pos + needle.size();
+  std::size_t end = out.find('\n', start);
+  return out.substr(start, end - start);
+}
+
+TEST(CliSmoke, ListPrintsEveryRegisteredAlgorithm) {
+  std::string out = RunCli("list");
+  for (const core::AlgorithmInfo& a : core::AllAlgorithms()) {
+    EXPECT_NE(out.find(a.name), std::string::npos)
+        << "missing '" << a.name << "' in:\n" << out;
+  }
+  EXPECT_NE(out.find("reference"), std::string::npos);
+}
+
+TEST(CliSmoke, CountMatchesReferenceOnRmat) {
+  const std::string spec = "rmat:scale=8,m=2000,seed=11";
+  std::uint64_t expected =
+      core::CountTrianglesHost(graph::Rmat(8, 2000, 0.45, 0.22, 0.22, 11));
+  ASSERT_GT(expected, 0u) << "degenerate fixture: fixture graph has no triangles";
+
+  std::string em_out = RunCli(
+      "count --algo=ps-cache-aware --graph=" + spec +
+      " --memory=2048 --block=32 --seed=7");
+  EXPECT_EQ(ReportValue(em_out, "triangles"), std::to_string(expected));
+
+  std::string ref_out = RunCli("count --algo=reference --graph=" + spec);
+  EXPECT_EQ(ReportValue(ref_out, "triangles"), std::to_string(expected));
+}
+
+TEST(CliSmoke, CountReportsIoAndPredictedBound) {
+  std::string out = RunCli(
+      "count --algo=ps-cache-oblivious --graph=clique:k=24"
+      " --memory=1024 --block=16");
+  EXPECT_EQ(ReportValue(out, "triangles"), "2024");  // C(24,3)
+  EXPECT_GT(std::stoull(ReportValue(out, "block_ios")), 0u);
+  EXPECT_GT(std::stod(ReportValue(out, "predicted_bound")), 0.0);
+  EXPECT_GT(std::stod(ReportValue(out, "lower_bound")), 0.0);
+}
+
+TEST(CliSmoke, EnumeratePrintsTriangles) {
+  std::string out = RunCli(
+      "enumerate --algo=ps-deterministic --graph=cycle:n=3"
+      " --memory=1024 --block=16");
+  EXPECT_NE(out.find("triangle 0 1 2"), std::string::npos) << out;
+  EXPECT_EQ(ReportValue(out, "triangles"), "1");
+}
+
+TEST(CliSmoke, UnknownAlgorithmFails) {
+  RunCli("count --algo=definitely-not-an-algo --graph=clique:k=5",
+         /*expected_status=*/2);
+}
+
+}  // namespace
+}  // namespace trienum

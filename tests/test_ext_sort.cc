@@ -69,9 +69,15 @@ std::vector<SortParam> SortParams() {
 std::string SortName(const ::testing::TestParamInfo<SortParam>& info) {
   static const char* names[] = {"random", "sorted", "reversed", "constant",
                                 "fewdistinct"};
-  return "n" + std::to_string(info.param.n) + "_" +
-         names[static_cast<int>(info.param.pattern)] + "_M" +
-         std::to_string(info.param.m_words);
+  // Built up with += (rather than one operator+ chain) to sidestep a GCC 12
+  // -Wrestrict false positive in inlined std::string concatenation (PR105329).
+  std::string out = "n";
+  out += std::to_string(info.param.n);
+  out += "_";
+  out += names[static_cast<int>(info.param.pattern)];
+  out += "_M";
+  out += std::to_string(info.param.m_words);
+  return out;
 }
 
 INSTANTIATE_TEST_SUITE_P(Patterns, ExtSortTest, ::testing::ValuesIn(SortParams()),

@@ -1,0 +1,44 @@
+// Keeps the algorithm-name list documented on FindAlgorithm (and mirrored in
+// README.md's table) in sync with the actual registry.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/algorithms.h"
+
+namespace trienum::core {
+namespace {
+
+// The names promised by the FindAlgorithm comment in core/algorithms.h, in
+// registry order. If this test fails you changed one side only: update the
+// registry, the header comment, README.md, and this list together.
+const std::vector<std::string> kDocumentedNames = {
+    "ps-cache-aware", "ps-cache-oblivious", "ps-deterministic", "mgt",
+    "dementiev",      "edge-iterator",      "chu-cheng",        "bnl",
+};
+
+TEST(RegistryNames, MatchesHeaderComment) {
+  std::vector<std::string> actual;
+  for (const AlgorithmInfo& a : AllAlgorithms()) actual.push_back(a.name);
+  EXPECT_EQ(actual, kDocumentedNames);
+}
+
+TEST(RegistryNames, FindAlgorithmResolvesEveryDocumentedName) {
+  for (const std::string& name : kDocumentedNames) {
+    const AlgorithmInfo* info = FindAlgorithm(name);
+    ASSERT_NE(info, nullptr) << name;
+    EXPECT_EQ(info->name, name);
+    EXPECT_TRUE(static_cast<bool>(info->run)) << name;
+    EXPECT_FALSE(info->description.empty()) << name;
+  }
+}
+
+TEST(RegistryNames, UnknownNameIsNull) {
+  EXPECT_EQ(FindAlgorithm("no-such-algorithm"), nullptr);
+  // `reference` is a CLI-level pseudo-algorithm, not a registry entry.
+  EXPECT_EQ(FindAlgorithm("reference"), nullptr);
+}
+
+}  // namespace
+}  // namespace trienum::core
