@@ -1,0 +1,111 @@
+// Storage-backend comparison: the same algorithm under the same (M, B) on
+// the in-memory simulator vs. the file-backed device. Reports simulated
+// block I/Os next to the *real* transfer counts (pread/pwrite syscalls and
+// bytes), so the perf trajectory tracks how closely the simulated cost model
+// matches actual storage traffic. The simulated counters must be identical
+// across backends (asserted by tests/test_storage_backends.cc); the real
+// counters exist only on the file backend.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench_util.h"
+#include "core/cache_aware.h"
+#include "em/storage.h"
+
+namespace {
+
+using namespace trienum;
+
+bench::RunOutcome MeasureOnBackend(em::StorageKind kind,
+                                   const std::string& algo_name,
+                                   const std::vector<graph::Edge>& raw,
+                                   std::size_t m, std::size_t b,
+                                   em::StorageTelemetry* tel) {
+  em::EmConfig cfg;
+  cfg.memory_words = m;
+  cfg.block_words = b;
+  cfg.seed = 0xB0B;
+  cfg.storage = kind;
+  em::Context ctx(cfg);
+  ctx.cache().set_counting(false);
+  graph::EmGraph g = graph::BuildEmGraph(ctx, raw);
+  ctx.cache().set_counting(true);
+  ctx.cache().Reset();
+  ctx.ResetWork();
+
+  em::StorageTelemetry before = ctx.device().backend().telemetry();
+  core::ChecksumSink sink;
+  core::FindAlgorithm(algo_name)->run(ctx, g, sink);
+  ctx.cache().FlushAll();
+  *tel = ctx.device().backend().telemetry() - before;
+
+  bench::RunOutcome out;
+  out.triangles = sink.count();
+  out.checksum = sink.checksum();
+  out.io = ctx.cache().stats();
+  out.work = ctx.work();
+  out.num_edges = g.num_edges();
+  return out;
+}
+
+void ReportBackend(benchmark::State& state, const bench::RunOutcome& out,
+                   const em::StorageTelemetry& tel) {
+  state.counters["sim_ios"] = static_cast<double>(out.io.total_ios());
+  state.counters["sim_reads"] = static_cast<double>(out.io.block_reads);
+  state.counters["sim_writes"] = static_cast<double>(out.io.block_writes);
+  state.counters["real_read_calls"] = static_cast<double>(tel.read_calls);
+  state.counters["real_write_calls"] = static_cast<double>(tel.write_calls);
+  state.counters["real_bytes_read"] = static_cast<double>(tel.bytes_read);
+  state.counters["real_bytes_written"] = static_cast<double>(tel.bytes_written);
+  // Real syscalls per simulated block transfer: ~1 means the cost model and
+  // the storage traffic agree; >1 measures the uncounted coherence fetches.
+  double sim = static_cast<double>(out.io.total_ios());
+  if (sim > 0) {
+    state.counters["real_over_sim"] =
+        static_cast<double>(tel.read_calls + tel.write_calls) / sim;
+  }
+  state.counters["triangles"] = static_cast<double>(out.triangles);
+}
+
+void BM_Backend(benchmark::State& state, em::StorageKind kind,
+                const std::string& algo) {
+  const std::size_t e = static_cast<std::size_t>(state.range(0));
+  const std::size_t m = 1 << 10, b = 16;
+  auto raw = graph::Gnm(static_cast<graph::VertexId>(e / 4), e, 77);
+  bench::RunOutcome out;
+  em::StorageTelemetry tel;
+  for (auto _ : state) {
+    out = MeasureOnBackend(kind, algo, raw, m, b, &tel);
+    benchmark::DoNotOptimize(out.checksum);
+  }
+  ReportBackend(state, out, tel);
+}
+
+void BM_MemoryBackend_CacheAware(benchmark::State& state) {
+  BM_Backend(state, em::StorageKind::kMemory, "ps-cache-aware");
+}
+void BM_FileBackend_CacheAware(benchmark::State& state) {
+  BM_Backend(state, em::StorageKind::kFile, "ps-cache-aware");
+}
+void BM_MemoryBackend_CacheOblivious(benchmark::State& state) {
+  BM_Backend(state, em::StorageKind::kMemory, "ps-cache-oblivious");
+}
+void BM_FileBackend_CacheOblivious(benchmark::State& state) {
+  BM_Backend(state, em::StorageKind::kFile, "ps-cache-oblivious");
+}
+void BM_MemoryBackend_Mgt(benchmark::State& state) {
+  BM_Backend(state, em::StorageKind::kMemory, "mgt");
+}
+void BM_FileBackend_Mgt(benchmark::State& state) {
+  BM_Backend(state, em::StorageKind::kFile, "mgt");
+}
+
+}  // namespace
+
+BENCHMARK(BM_MemoryBackend_CacheAware)->Arg(1 << 13)->Arg(1 << 15);
+BENCHMARK(BM_FileBackend_CacheAware)->Arg(1 << 13)->Arg(1 << 15);
+BENCHMARK(BM_MemoryBackend_CacheOblivious)->Arg(1 << 13);
+BENCHMARK(BM_FileBackend_CacheOblivious)->Arg(1 << 13);
+BENCHMARK(BM_MemoryBackend_Mgt)->Arg(1 << 13);
+BENCHMARK(BM_FileBackend_Mgt)->Arg(1 << 13);

@@ -19,6 +19,13 @@ if [[ ! -d "${bench_dir}" ]]; then
   exit 1
 fi
 
+# bench_backends (simulated vs. real storage I/O) anchors the real-I/O
+# trajectory; refuse to emit a partial set without it.
+if [[ ! -x "${bench_dir}/bench_backends" ]]; then
+  echo "error: ${bench_dir}/bench_backends not built; rebuild the tree" >&2
+  exit 1
+fi
+
 mkdir -p "${out_dir}"
 found=0
 for bin in "${bench_dir}"/bench_*; do
@@ -34,4 +41,4 @@ if [[ "${found}" -eq 0 ]]; then
   echo "error: no bench_* executables in ${bench_dir}" >&2
   exit 1
 fi
-echo "done."
+echo "done. (BENCH_backends.json carries the simulated-vs-real I/O counters.)"

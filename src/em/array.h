@@ -5,6 +5,7 @@
 
 #include <cstring>
 #include <type_traits>
+#include <vector>
 
 #include "common/status.h"
 #include "em/context.h"
@@ -17,6 +18,10 @@ namespace trienum::em {
 /// writing an Array is exactly what costs I/Os in this library. Records are
 /// padded to whole words; an Edge (two 32-bit ids) is one word, matching the
 /// paper's "an edge requires one memory word" accounting.
+///
+/// All data moves through Context::ReadWords/WriteWords, so an Array works
+/// identically — same values, same IoStats — over the in-memory and the
+/// file-backed storage backend (see em/storage.h).
 template <typename T>
 class Array {
   static_assert(std::is_trivially_copyable_v<T>,
@@ -25,6 +30,9 @@ class Array {
  public:
   /// Words occupied by one record.
   static constexpr std::size_t kWordsPer = (sizeof(T) + sizeof(Word) - 1) / sizeof(Word);
+  /// True when records fill their words exactly (no per-record padding), so
+  /// a bulk transfer is one contiguous byte range.
+  static constexpr bool kPacked = sizeof(T) == kWordsPer * sizeof(Word);
 
   Array() = default;
   Array(Context* ctx, Addr base, std::size_t n) : ctx_(ctx), base_(base), n_(n) {}
@@ -40,10 +48,10 @@ class Array {
   /// Reads element `i` (counts I/O on a cache miss).
   T Get(std::size_t i) const {
     TRIENUM_CHECK(i < n_);
-    Addr a = base_ + i * kWordsPer;
-    ctx_->TouchRange(a, kWordsPer, /*write=*/false);
+    Word tmp[kWordsPer];
+    ctx_->ReadWords(base_ + i * kWordsPer, kWordsPer, tmp);
     T out;
-    std::memcpy(static_cast<void*>(&out), static_cast<const void*>(ctx_->device().raw(a)), sizeof(T));
+    std::memcpy(static_cast<void*>(&out), static_cast<const void*>(tmp), sizeof(T));
     return out;
   }
 
@@ -51,9 +59,10 @@ class Array {
   /// writes are charged as pure output).
   void Set(std::size_t i, const T& v) {
     TRIENUM_CHECK(i < n_);
-    Addr a = base_ + i * kWordsPer;
-    ctx_->TouchRange(a, kWordsPer, /*write=*/true);
-    std::memcpy(static_cast<void*>(ctx_->device().raw(a)), static_cast<const void*>(&v), sizeof(T));
+    Word tmp[kWordsPer];
+    tmp[kWordsPer - 1] = 0;  // deterministic padding in the tail word
+    std::memcpy(static_cast<void*>(tmp), static_cast<const void*>(&v), sizeof(T));
+    ctx_->WriteWords(base_ + i * kWordsPer, kWordsPer, tmp);
   }
 
   /// Subrange view [off, off+len).
@@ -69,11 +78,16 @@ class Array {
     if (begin == end) return;
     Addr a = base_ + begin * kWordsPer;
     std::size_t words = (end - begin) * kWordsPer;
-    ctx_->TouchRange(a, words, /*write=*/false);
-    for (std::size_t i = begin; i < end; ++i) {
-      std::memcpy(static_cast<void*>(out + (i - begin)),
-                  static_cast<const void*>(ctx_->device().raw(base_ + i * kWordsPer)),
-                  sizeof(T));
+    if constexpr (kPacked) {
+      ctx_->ReadWords(a, words, static_cast<void*>(out));
+    } else {
+      std::vector<Word> tmp(words);
+      ctx_->ReadWords(a, words, tmp.data());
+      for (std::size_t i = begin; i < end; ++i) {
+        std::memcpy(static_cast<void*>(out + (i - begin)),
+                    static_cast<const void*>(tmp.data() + (i - begin) * kWordsPer),
+                    sizeof(T));
+      }
     }
   }
 
@@ -83,10 +97,15 @@ class Array {
     if (begin == end) return;
     Addr a = base_ + begin * kWordsPer;
     std::size_t words = (end - begin) * kWordsPer;
-    ctx_->TouchRange(a, words, /*write=*/true);
-    for (std::size_t i = begin; i < end; ++i) {
-      std::memcpy(static_cast<void*>(ctx_->device().raw(base_ + i * kWordsPer)),
-                  static_cast<const void*>(in + (i - begin)), sizeof(T));
+    if constexpr (kPacked) {
+      ctx_->WriteWords(a, words, static_cast<const void*>(in));
+    } else {
+      std::vector<Word> tmp(words, 0);
+      for (std::size_t i = begin; i < end; ++i) {
+        std::memcpy(static_cast<void*>(tmp.data() + (i - begin) * kWordsPer),
+                    static_cast<const void*>(in + (i - begin)), sizeof(T));
+      }
+      ctx_->WriteWords(a, words, tmp.data());
     }
   }
 

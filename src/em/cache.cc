@@ -1,11 +1,13 @@
 #include "em/cache.h"
 
 #include <algorithm>
+#include <cstring>
 
 namespace trienum::em {
 
-Cache::Cache(std::size_t memory_words, std::size_t block_words)
-    : memory_words_(memory_words), block_words_(block_words) {
+Cache::Cache(std::size_t memory_words, std::size_t block_words,
+             StorageBackend* staging)
+    : memory_words_(memory_words), block_words_(block_words), staging_(staging) {
   TRIENUM_CHECK(block_words_ > 0);
   num_slots_ = std::max<std::size_t>(1, memory_words_ / block_words_);
   slots_.resize(num_slots_);
@@ -17,6 +19,13 @@ Cache::Cache(std::size_t memory_words, std::size_t block_words)
   }
   slots_[num_slots_ - 1].next = -1;
   free_head_ = 0;
+  if (staging_ != nullptr) {
+    // Resident line buffers: the only device *data* kept in RAM, so data
+    // residency is O(M). (The line-to-slot map `where_` still grows with the
+    // touched address range — one int32 per device line — which caps how far
+    // beyond RAM a device can go; see ROADMAP.)
+    line_data_.resize(num_slots_ * block_words_, 0);
+  }
 }
 
 std::int32_t Cache::Lookup(std::int64_t line) const {
@@ -56,19 +65,26 @@ std::int32_t Cache::GrabSlot() {
   std::int32_t s = tail_;
   TRIENUM_CHECK(s >= 0);
   Unlink(s);
-  if (slots_[s].dirty) ++stats_.block_writes;
+  if (slots_[s].dirty) {
+    if (staging_ != nullptr) {
+      staging_->WriteWords(static_cast<Addr>(slots_[s].line) * block_words_,
+                           block_words_, line_buf(s));
+    }
+    ++stats_.block_writes;
+  }
   where_[static_cast<std::size_t>(slots_[s].line)] = -1;
   slots_[s].line = -1;
   slots_[s].dirty = false;
   return s;
 }
 
-void Cache::TouchLine(std::int64_t line, bool write, bool aligned_write) {
+std::int32_t Cache::TouchLine(std::int64_t line, bool write, bool aligned_write,
+                              bool fetch) {
   if (line == last_line_ && head_ >= 0 && slots_[head_].line == line) {
     // Fast path: streaming access to the MRU line.
     slots_[head_].dirty |= write;
     ++stats_.cache_hits;
-    return;
+    return head_;
   }
   std::int32_t s = Lookup(line);
   if (s >= 0) {
@@ -84,8 +100,16 @@ void Cache::TouchLine(std::int64_t line, bool write, bool aligned_write) {
     }
     where_[static_cast<std::size_t>(line)] = s;
     slots_[s].line = line;
+    if (staging_ != nullptr && fetch) {
+      // Real block fetch. Deliberately independent of the charging decision
+      // below: a block-aligned fresh write is not charged a read by the
+      // model, but a partially-covered line must still be loaded so its
+      // untouched words survive the eventual write-back.
+      staging_->ReadWords(static_cast<Addr>(line) * block_words_, block_words_,
+                          line_buf(s));
+    }
     if (write && aligned_write) {
-      // Fresh full-line output: allocate without fetching.
+      // Fresh full-line output: allocate without charging a fetch.
       slots_[s].dirty = true;
     } else {
       ++stats_.block_reads;
@@ -94,6 +118,7 @@ void Cache::TouchLine(std::int64_t line, bool write, bool aligned_write) {
     PushFront(s);
   }
   last_line_ = line;
+  return s;
 }
 
 void Cache::TouchRange(Addr addr, std::size_t words, bool write) {
@@ -102,14 +127,112 @@ void Cache::TouchRange(Addr addr, std::size_t words, bool write) {
   std::int64_t last = static_cast<std::int64_t>((addr + words - 1) / block_words_);
   for (std::int64_t line = first; line <= last; ++line) {
     bool aligned = write && (line > first || addr % block_words_ == 0);
-    TouchLine(line, write, aligned);
+    // Data-less touch: always fetch on a staged miss, since we cannot know
+    // which words the caller will overwrite.
+    TouchLine(line, write, aligned, /*fetch=*/true);
+  }
+}
+
+void Cache::ReadRange(Addr addr, std::size_t words, void* out) {
+  TRIENUM_CHECK_MSG(staging_ != nullptr, "ReadRange requires staged mode");
+  if (words == 0) return;
+  char* dst = static_cast<char*>(out);
+  const Addr end = addr + words;
+  std::int64_t first = static_cast<std::int64_t>(addr / block_words_);
+  std::int64_t last = static_cast<std::int64_t>((end - 1) / block_words_);
+  if (!counting_) {
+    // Uncounted bypass: no insertion, no recency update, no counters —
+    // exactly like the simulator's raw pointer. Resident lines are served
+    // from their buffer (the authoritative copy when dirty); maximal runs
+    // of non-resident lines coalesce into one backend read each, so a bulk
+    // upload/download costs O(1) syscalls, not one per line.
+    Addr run_start = addr;  // pending non-resident span [run_start, ...)
+    for (std::int64_t line = first; line <= last; ++line) {
+      Addr line_base = static_cast<Addr>(line) * block_words_;
+      std::int32_t s = Lookup(line);
+      if (s < 0) continue;
+      Addr lo = std::max<Addr>(addr, line_base);
+      Addr hi = std::min<Addr>(end, line_base + block_words_);
+      if (lo > run_start) {
+        staging_->ReadWords(run_start, static_cast<std::size_t>(lo - run_start),
+                            reinterpret_cast<Word*>(dst + (run_start - addr) * sizeof(Word)));
+      }
+      std::memcpy(dst + (lo - addr) * sizeof(Word), line_buf(s) + (lo - line_base),
+                  static_cast<std::size_t>(hi - lo) * sizeof(Word));
+      run_start = hi;
+    }
+    if (end > run_start) {
+      staging_->ReadWords(run_start, static_cast<std::size_t>(end - run_start),
+                          reinterpret_cast<Word*>(dst + (run_start - addr) * sizeof(Word)));
+    }
+    return;
+  }
+  for (std::int64_t line = first; line <= last; ++line) {
+    Addr line_base = static_cast<Addr>(line) * block_words_;
+    Addr lo = std::max<Addr>(addr, line_base);
+    Addr hi = std::min<Addr>(end, line_base + block_words_);
+    std::size_t n = static_cast<std::size_t>(hi - lo);
+    std::int32_t s = TouchLine(line, /*write=*/false, /*aligned_write=*/false,
+                               /*fetch=*/true);
+    std::memcpy(dst, line_buf(s) + (lo - line_base), n * sizeof(Word));
+    dst += n * sizeof(Word);
+  }
+}
+
+void Cache::WriteRange(Addr addr, std::size_t words, const void* in) {
+  TRIENUM_CHECK_MSG(staging_ != nullptr, "WriteRange requires staged mode");
+  if (words == 0) return;
+  const char* src = static_cast<const char*>(in);
+  const Addr end = addr + words;
+  std::int64_t first = static_cast<std::int64_t>(addr / block_words_);
+  std::int64_t last = static_cast<std::int64_t>((end - 1) / block_words_);
+  if (!counting_) {
+    // Uncounted write: one write-through of the whole range (so a clean
+    // line can later be dropped without losing this data, at O(1) syscalls
+    // for bulk uploads), plus buffer updates for any resident lines so they
+    // stay authoritative. Dirty flags and recency stay untouched, so the
+    // counted-region IoStats remain identical to the simulator's.
+    staging_->WriteWords(addr, words, reinterpret_cast<const Word*>(src));
+    for (std::int64_t line = first; line <= last; ++line) {
+      std::int32_t s = Lookup(line);
+      if (s < 0) continue;
+      Addr line_base = static_cast<Addr>(line) * block_words_;
+      Addr lo = std::max<Addr>(addr, line_base);
+      Addr hi = std::min<Addr>(end, line_base + block_words_);
+      std::memcpy(line_buf(s) + (lo - line_base), src + (lo - addr) * sizeof(Word),
+                  static_cast<std::size_t>(hi - lo) * sizeof(Word));
+    }
+    return;
+  }
+  for (std::int64_t line = first; line <= last; ++line) {
+    Addr line_base = static_cast<Addr>(line) * block_words_;
+    Addr lo = std::max<Addr>(addr, line_base);
+    Addr hi = std::min<Addr>(end, line_base + block_words_);
+    std::size_t n = static_cast<std::size_t>(hi - lo);
+    // Same charging rule as TouchRange: a write starting at a line boundary
+    // is "aligned" (no read charged); the block is still fetched unless this
+    // write covers the whole line.
+    bool aligned = lo == line_base;
+    bool full_cover = n == block_words_;
+    std::int32_t s =
+        TouchLine(line, /*write=*/true, aligned, /*fetch=*/!full_cover);
+    std::memcpy(line_buf(s) + (lo - line_base), src, n * sizeof(Word));
+    src += n * sizeof(Word);
   }
 }
 
 void Cache::FlushAll() {
   for (std::int32_t s = head_; s >= 0;) {
     std::int32_t next = slots_[s].next;
-    if (slots_[s].dirty && counting_) ++stats_.block_writes;
+    if (slots_[s].dirty) {
+      if (staging_ != nullptr) {
+        // Data is never dropped, even when the flush itself is uncounted
+        // (e.g. Reset between phases).
+        staging_->WriteWords(static_cast<Addr>(slots_[s].line) * block_words_,
+                             block_words_, line_buf(s));
+      }
+      if (counting_) ++stats_.block_writes;
+    }
     where_[static_cast<std::size_t>(slots_[s].line)] = -1;
     slots_[s].line = -1;
     slots_[s].dirty = false;

@@ -1,4 +1,4 @@
-// LRU internal-memory simulator: the I/O-accounting heart of the library.
+// LRU internal-memory cache: the I/O-accounting heart of the library.
 //
 // Internal memory holds M/B lines of B words. Each word touch either hits a
 // resident line or faults it in (one block read); evicting a dirty line costs
@@ -6,6 +6,19 @@
 // optimal replacement policy and transfers to LRU by [Frigo et al. 2012,
 // Lemma 6.4]; measuring under LRU is therefore the standard way to evaluate
 // a cache-oblivious algorithm at arbitrary (M, B).
+//
+// The cache runs in one of two modes, fixed at construction:
+//
+//   * counting-only (no staging backend): touches only update the LRU state
+//     and the IoStats counters; data lives elsewhere (the MemoryBackend's
+//     direct view). This is the original simulator, bit-for-bit.
+//
+//   * staged (a StorageBackend* is supplied): the cache additionally owns a
+//     B-word buffer per line and becomes the real data path — misses fetch
+//     the block from the backend, dirty evictions write it back, so resident
+//     memory is O(M). The counting code is shared between the modes, which is
+//     what guarantees IoStats are backend-independent (asserted by
+//     tests/test_storage_backends.cc).
 #ifndef TRIENUM_EM_CACHE_H_
 #define TRIENUM_EM_CACHE_H_
 
@@ -14,29 +27,48 @@
 
 #include "common/status.h"
 #include "em/defs.h"
+#include "em/storage.h"
 
 namespace trienum::em {
 
-/// \brief LRU cache of M words in B-word lines with I/O counting.
+/// \brief LRU cache of M words in B-word lines with I/O counting and an
+/// optional real (staged) data path.
 ///
-/// Writes that start at a line boundary allocate the line without fetching it
-/// (a purely sequential output stream costs n/B writes and no reads, matching
-/// the EM model's scan semantics); any other miss costs a block read.
+/// Writes that start at a line boundary allocate the line without charging a
+/// fetch (a purely sequential output stream costs n/B writes and no reads,
+/// matching the EM model's scan semantics); any other miss costs a block read.
 class Cache {
  public:
-  Cache(std::size_t memory_words, std::size_t block_words);
+  /// `staging` selects the mode: nullptr = counting-only (default);
+  /// otherwise the cache stages real data against that backend.
+  Cache(std::size_t memory_words, std::size_t block_words,
+        StorageBackend* staging = nullptr);
 
   /// Registers a touch of `words` consecutive words starting at `addr`.
+  /// (In staged mode, missed lines are fetched so buffers stay coherent,
+  /// but no data is returned — prefer ReadRange/WriteRange.)
   void TouchRange(Addr addr, std::size_t words, bool write);
 
   /// Single-word convenience wrapper.
   void Touch(Addr addr, bool write) { TouchRange(addr, 1, write); }
+
+  /// Staged-mode data path: reads/writes `words` words at `addr` through the
+  /// resident line buffers, counting I/Os exactly like TouchRange. While
+  /// counting is disabled the access bypasses the LRU state entirely
+  /// (read-through/write-through to the backend), mirroring the simulator's
+  /// uncounted raw-pointer accesses. Staged mode only.
+  void ReadRange(Addr addr, std::size_t words, void* out);
+  void WriteRange(Addr addr, std::size_t words, const void* in);
+
+  /// True if this cache stages real data (file-backed device).
+  bool staged() const { return staging_ != nullptr; }
 
   /// Writes back all dirty lines (counting block writes) and empties the
   /// cache. Call at the end of a measured run so pending output is charged.
   void FlushAll();
 
   /// Empties the cache and zeroes all counters; the next run starts cold.
+  /// (Staged dirty data is written back, never dropped.)
   void Reset();
 
   /// Enables/disables accounting. While disabled, touches are no-ops; used
@@ -61,12 +93,19 @@ class Cache {
     bool dirty;
   };
 
-  void TouchLine(std::int64_t line, bool write, bool aligned_write);
+  /// Core touch: updates LRU/counters and returns the slot now holding
+  /// `line`. `fetch` controls whether a staged miss loads the block from the
+  /// backend (false only when the caller overwrites the whole line).
+  std::int32_t TouchLine(std::int64_t line, bool write, bool aligned_write,
+                         bool fetch);
   std::int32_t GrabSlot();           // free slot or evict LRU tail
   void MoveToFront(std::int32_t s);
   void PushFront(std::int32_t s);
   void Unlink(std::int32_t s);
   std::int32_t Lookup(std::int64_t line) const;
+  Word* line_buf(std::int32_t s) {
+    return line_data_.data() + static_cast<std::size_t>(s) * block_words_;
+  }
 
   std::size_t memory_words_;
   std::size_t block_words_;
@@ -78,6 +117,9 @@ class Cache {
   std::int32_t tail_ = -1;           // LRU
   std::int32_t free_head_ = -1;
   std::int64_t last_line_ = -1;      // fast path for streaming access
+
+  StorageBackend* staging_ = nullptr;  // non-null = staged data mode
+  std::vector<Word> line_data_;        // num_slots_ * block_words_ (staged)
 
   bool counting_ = true;
   IoStats stats_;

@@ -3,7 +3,9 @@
 namespace trienum::em {
 
 Context::Context(const EmConfig& cfg)
-    : cfg_(cfg), cache_(cfg.memory_words, cfg.block_words) {
+    : cfg_(cfg),
+      device_(MakeStorageBackend(cfg)),
+      cache_(cfg.memory_words, cfg.block_words, device_.staging_backend()) {
   TRIENUM_CHECK_MSG(cfg.memory_words >= cfg.block_words,
                     "internal memory must hold at least one block");
 }

@@ -1,10 +1,12 @@
-// Execution context binding together the simulated device, the LRU cache,
-// the hierarchy parameters (M, B), scratch-memory accounting and the work
-// counter. Every EM algorithm in the library takes a Context&.
+// Execution context binding together the device (memory- or file-backed,
+// see em/storage.h), the LRU cache, the hierarchy parameters (M, B),
+// scratch-memory accounting and the work counter. Every EM algorithm in the
+// library takes a Context&.
 #ifndef TRIENUM_EM_CONTEXT_H_
 #define TRIENUM_EM_CONTEXT_H_
 
 #include <cstdint>
+#include <cstring>
 #include <memory>
 
 #include "common/status.h"
@@ -67,11 +69,43 @@ class Context {
   const Cache& cache() const { return cache_; }
 
   /// Registers a word-range touch with the primary cache and, if attached,
-  /// the passive probe cache. All em::Array accesses route through here.
+  /// the passive probe cache.
   void TouchRange(Addr addr, std::size_t words, bool write) {
     cache_.TouchRange(addr, words, write);
     if (probe_ != nullptr && cache_.counting()) {
       probe_->TouchRange(addr, words, write);
+    }
+  }
+
+  /// Reads `words` device words at `a` into `out`, charging I/Os exactly as
+  /// a TouchRange of the same span. All em::Array accesses route through
+  /// here (and WriteWords below), which is what makes the storage backend
+  /// swappable: with a direct view (memory backend) this is a touch plus a
+  /// memcpy; otherwise the staged cache moves real blocks.
+  void ReadWords(Addr a, std::size_t words, void* out) {
+    if (!cache_.staged()) {
+      TouchRange(a, words, /*write=*/false);
+      std::memcpy(out, device_.direct_view() + a, words * sizeof(Word));
+    } else {
+      cache_.ReadRange(a, words, out);
+      if (probe_ != nullptr && cache_.counting()) {
+        probe_->TouchRange(a, words, /*write=*/false);
+      }
+    }
+  }
+
+  /// Writes `words` device words at `a` from `in`; the I/O-accounting dual
+  /// of ReadWords (sequential block-aligned writes are charged as pure
+  /// output).
+  void WriteWords(Addr a, std::size_t words, const void* in) {
+    if (!cache_.staged()) {
+      TouchRange(a, words, /*write=*/true);
+      std::memcpy(device_.direct_view() + a, in, words * sizeof(Word));
+    } else {
+      cache_.WriteRange(a, words, in);
+      if (probe_ != nullptr && cache_.counting()) {
+        probe_->TouchRange(a, words, /*write=*/true);
+      }
     }
   }
 

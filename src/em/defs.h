@@ -10,6 +10,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 namespace trienum::em {
 
@@ -20,6 +21,15 @@ using Word = std::uint64_t;
 /// Word address in the device's flat address space.
 using Addr = std::uint64_t;
 
+/// Which storage backend realizes the external memory (see em/storage.h).
+enum class StorageKind {
+  /// RAM-resident flat vector; every I/O is simulated (the default).
+  kMemory,
+  /// Unlinked temp file via pread/pwrite; resident memory is O(M) and the
+  /// LRU cache performs real block fetches and dirty write-backs.
+  kFile,
+};
+
 /// Parameters of the simulated memory hierarchy.
 struct EmConfig {
   /// Internal memory size M, in words.
@@ -28,6 +38,11 @@ struct EmConfig {
   std::size_t block_words = 64;
   /// Master seed for all randomized components run under this context.
   std::uint64_t seed = 0x5117E57121ULL;
+  /// Storage backend for the device. IoStats are backend-independent; kFile
+  /// additionally bounds resident memory and reports real transfers.
+  StorageKind storage = StorageKind::kMemory;
+  /// Directory for the FileBackend's temp file; empty = $TMPDIR or /tmp.
+  std::string temp_dir;
 };
 
 /// Counters of simulated block transfers.

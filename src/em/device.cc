@@ -6,11 +6,7 @@ Addr Device::Allocate(std::size_t words, std::size_t align) {
   TRIENUM_CHECK(align > 0);
   Addr base = (top_ + align - 1) / align * align;
   Addr new_top = base + words;
-  if (new_top > storage_.size()) {
-    std::size_t grown = storage_.size() == 0 ? 1024 : storage_.size();
-    while (grown < new_top) grown *= 2;
-    storage_.resize(grown, 0);
-  }
+  backend_->EnsureSize(new_top);
   top_ = new_top;
   if (top_ > peak_) peak_ = top_;
   return base;

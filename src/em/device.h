@@ -1,13 +1,16 @@
-// The simulated external memory ("disk"): a flat, word-addressable store with
-// stack-discipline (region) allocation.
+// The external memory ("disk"): a flat, word-addressable store with
+// stack-discipline (region) allocation, backed by a pluggable storage
+// backend (em/storage.h) — RAM-resident by default, file-backed for
+// out-of-core runs.
 #ifndef TRIENUM_EM_DEVICE_H_
 #define TRIENUM_EM_DEVICE_H_
 
 #include <cstddef>
-#include <vector>
+#include <memory>
 
 #include "common/status.h"
 #include "em/defs.h"
+#include "em/storage.h"
 
 namespace trienum::em {
 
@@ -17,9 +20,20 @@ namespace trienum::em {
 /// allocate freely, and Release back to the mark when a phase (e.g. a
 /// recursive subproblem) completes. This mirrors how the paper bounds disk
 /// usage to O(E) words: subproblem inputs are freed on return.
+///
+/// The allocator is backend-independent: where the words physically live
+/// (a vector or a temp file) is the backend's concern, so address assignment
+/// — and therefore every simulated I/O — is identical across backends.
 class Device {
  public:
-  Device() = default;
+  /// Default device: RAM-resident MemoryBackend (the original simulator).
+  Device() : backend_(std::make_unique<MemoryBackend>()) {}
+
+  /// Device over an explicit backend (e.g. FileBackend for out-of-core).
+  explicit Device(std::unique_ptr<StorageBackend> backend)
+      : backend_(std::move(backend)) {
+    TRIENUM_CHECK(backend_ != nullptr);
+  }
 
   /// Allocates `words` words aligned to `align` words; returns the base
   /// address. Alignment to the block size keeps distinct arrays from sharing
@@ -33,10 +47,21 @@ class Device {
   /// Pops every allocation made since `mark` was taken.
   void Release(Addr mark);
 
-  /// Direct pointer into backing storage (for simulated DMA). Valid only
-  /// until the next Allocate.
-  Word* raw(Addr a) { return storage_.data() + a; }
-  const Word* raw(Addr a) const { return storage_.data() + a; }
+  /// The storage backend (for real-transfer telemetry and reports).
+  StorageBackend& backend() { return *backend_; }
+  const StorageBackend& backend() const { return *backend_; }
+
+  /// Direct view of the store; only meaningful when the backend is
+  /// memory-resident (otherwise all data moves through the staged cache).
+  Word* direct_view() { return backend_->DirectView(); }
+  const Word* direct_view() const { return backend_->DirectView(); }
+
+  /// Backend to hand to the Cache for staged (real-data) operation: non-null
+  /// exactly when the store is not memory-resident. The choice is structural
+  /// (backend type), never dependent on current allocation state.
+  StorageBackend* staging_backend() {
+    return backend_->memory_resident() ? nullptr : backend_.get();
+  }
 
   /// Words currently allocated.
   std::size_t allocated_words() const { return top_; }
@@ -49,7 +74,7 @@ class Device {
   void ResetPeak() { peak_ = top_; }
 
  private:
-  std::vector<Word> storage_;
+  std::unique_ptr<StorageBackend> backend_;
   Addr top_ = 0;
   Addr peak_ = 0;
 };

@@ -1,0 +1,157 @@
+#include "em/storage.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace trienum::em {
+
+namespace {
+
+// Shared amortized-doubling capacity policy: both backends must grow
+// identically so allocation behavior never depends on the backend.
+std::size_t GrownCapacity(std::size_t current, std::size_t want) {
+  std::size_t grown = current == 0 ? 1024 : current;
+  while (grown < want) grown *= 2;
+  return grown;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// MemoryBackend
+
+void MemoryBackend::EnsureSize(std::size_t words) {
+  if (words <= storage_.size()) return;
+  storage_.resize(GrownCapacity(storage_.size(), words), 0);
+}
+
+void MemoryBackend::ReadWords(Addr addr, std::size_t words, Word* out) {
+  // Reads past the current size yield zeros, matching a zero-initialized
+  // store (the staged cache may fetch a whole line whose tail was never
+  // allocated).
+  std::size_t avail =
+      addr < storage_.size()
+          ? std::min(words, storage_.size() - static_cast<std::size_t>(addr))
+          : 0;
+  if (avail > 0) {
+    std::memcpy(out, storage_.data() + addr, avail * sizeof(Word));
+  }
+  if (avail < words) std::memset(out + avail, 0, (words - avail) * sizeof(Word));
+  ++telemetry_.read_calls;
+  telemetry_.bytes_read += words * sizeof(Word);
+}
+
+void MemoryBackend::WriteWords(Addr addr, std::size_t words, const Word* in) {
+  EnsureSize(static_cast<std::size_t>(addr) + words);
+  std::memcpy(storage_.data() + addr, in, words * sizeof(Word));
+  ++telemetry_.write_calls;
+  telemetry_.bytes_written += words * sizeof(Word);
+}
+
+// ---------------------------------------------------------------------------
+// FileBackend
+
+#ifndef _WIN32
+
+// The file backend exists to hold devices far beyond RAM; a 32-bit off_t
+// would silently wrap offsets past 2GB. Build with _FILE_OFFSET_BITS=64 on
+// 32-bit platforms.
+static_assert(sizeof(off_t) >= 8, "FileBackend needs 64-bit file offsets");
+
+FileBackend::FileBackend(std::string dir) {
+  if (dir.empty()) {
+    const char* t = std::getenv("TMPDIR");
+    dir = (t != nullptr && *t != '\0') ? t : "/tmp";
+  }
+  std::string tmpl_str = dir + "/trienum-device-XXXXXX";
+  std::vector<char> tmpl(tmpl_str.begin(), tmpl_str.end());
+  tmpl.push_back('\0');
+  fd_ = ::mkstemp(tmpl.data());
+  TRIENUM_CHECK_MSG(fd_ >= 0, "FileBackend: mkstemp failed (check --temp-dir)");
+  path_.assign(tmpl.data());
+  // Unlink immediately: the fd keeps the storage alive, and the OS reclaims
+  // it even if the process crashes.
+  ::unlink(tmpl.data());
+}
+
+FileBackend::~FileBackend() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void FileBackend::EnsureSize(std::size_t words) {
+  if (words <= size_words_) return;
+  std::size_t grown = GrownCapacity(size_words_, words);
+  TRIENUM_CHECK_MSG(
+      ::ftruncate(fd_, static_cast<off_t>(grown * sizeof(Word))) == 0,
+      "FileBackend: ftruncate failed (disk full?)");
+  size_words_ = grown;
+}
+
+void FileBackend::ReadWords(Addr addr, std::size_t words, Word* out) {
+  std::size_t nbytes = words * sizeof(Word);
+  off_t off = static_cast<off_t>(addr * sizeof(Word));
+  char* dst = reinterpret_cast<char*>(out);
+  while (nbytes > 0) {
+    ssize_t got = ::pread(fd_, dst, nbytes, off);
+    if (got < 0 && errno == EINTR) continue;
+    TRIENUM_CHECK_MSG(got >= 0, "FileBackend: pread failed");
+    ++telemetry_.read_calls;
+    if (got == 0) {
+      // Past EOF: never-written words read as zero (ftruncate holes do the
+      // same in-range, so the whole address space is zero-initialized).
+      std::memset(dst, 0, nbytes);
+      break;
+    }
+    telemetry_.bytes_read += static_cast<std::uint64_t>(got);
+    dst += got;
+    off += got;
+    nbytes -= static_cast<std::size_t>(got);
+  }
+}
+
+void FileBackend::WriteWords(Addr addr, std::size_t words, const Word* in) {
+  std::size_t nbytes = words * sizeof(Word);
+  off_t off = static_cast<off_t>(addr * sizeof(Word));
+  const char* src = reinterpret_cast<const char*>(in);
+  while (nbytes > 0) {
+    ssize_t put = ::pwrite(fd_, src, nbytes, off);
+    if (put < 0 && errno == EINTR) continue;
+    TRIENUM_CHECK_MSG(put > 0, "FileBackend: pwrite failed (disk full?)");
+    ++telemetry_.write_calls;
+    telemetry_.bytes_written += static_cast<std::uint64_t>(put);
+    src += put;
+    off += put;
+    nbytes -= static_cast<std::size_t>(put);
+  }
+}
+
+#else  // _WIN32
+
+FileBackend::FileBackend(std::string) {
+  TRIENUM_CHECK_MSG(false, "FileBackend requires a POSIX platform");
+}
+FileBackend::~FileBackend() = default;
+void FileBackend::EnsureSize(std::size_t) {}
+void FileBackend::ReadWords(Addr, std::size_t, Word*) {}
+void FileBackend::WriteWords(Addr, std::size_t, const Word*) {}
+
+#endif  // _WIN32
+
+std::unique_ptr<StorageBackend> MakeStorageBackend(const EmConfig& cfg) {
+  switch (cfg.storage) {
+    case StorageKind::kFile:
+      return std::make_unique<FileBackend>(cfg.temp_dir);
+    case StorageKind::kMemory:
+      break;
+  }
+  return std::make_unique<MemoryBackend>();
+}
+
+}  // namespace trienum::em

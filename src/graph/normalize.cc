@@ -137,7 +137,9 @@ EmGraph BuildEmGraph(em::Context& ctx, const std::vector<Edge>& raw,
   em::Array<Edge> dev = ctx.Alloc<Edge>(raw.size());
   bool was_counting = ctx.cache().counting();
   ctx.cache().set_counting(false);  // the input is assumed to be on disk
-  for (std::size_t i = 0; i < raw.size(); ++i) dev.Set(i, raw[i]);
+  // Bulk upload: one transfer for the whole range (on the file backend this
+  // is one write-through per covered line instead of one per edge).
+  dev.WriteFrom(0, raw.size(), raw.data());
   ctx.cache().set_counting(was_counting);
   return NormalizeEdges(ctx, dev, new_to_old);
 }
@@ -148,7 +150,7 @@ std::vector<Edge> DownloadEdges(const EmGraph& g) {
   em::Context* ctx = g.edges.context();
   bool was_counting = ctx->cache().counting();
   ctx->cache().set_counting(false);
-  for (std::size_t i = 0; i < g.num_edges(); ++i) out[i] = g.edges.Get(i);
+  g.edges.ReadTo(0, g.num_edges(), out.data());
   ctx->cache().set_counting(was_counting);
   return out;
 }

@@ -96,5 +96,36 @@ TEST(CliSmoke, UnknownAlgorithmFails) {
          /*expected_status=*/2);
 }
 
+TEST(CliSmoke, FileBackendMatchesMemoryBackend) {
+  // End-to-end differential: same run on both storage backends must report
+  // the same triangles AND the same simulated block I/Os (the IoStats
+  // backend-independence guarantee), while only the file backend moves real
+  // bytes.
+  const std::string common =
+      "count --algo=ps-cache-aware --graph=rmat:scale=8,m=2000,seed=11"
+      " --memory=2048 --block=32 --seed=7";
+  std::string mem = RunCli(common + " --backend=memory");
+  std::string file = RunCli(common + " --backend=file");
+  EXPECT_EQ(ReportValue(mem, "backend"), "memory");
+  EXPECT_EQ(ReportValue(file, "backend"), "file");
+  EXPECT_EQ(ReportValue(mem, "triangles"), ReportValue(file, "triangles"));
+  EXPECT_EQ(ReportValue(mem, "block_reads"), ReportValue(file, "block_reads"));
+  EXPECT_EQ(ReportValue(mem, "block_writes"), ReportValue(file, "block_writes"));
+  EXPECT_EQ(ReportValue(mem, "real_bytes_read"), "0");
+  EXPECT_GT(std::stoull(ReportValue(file, "real_bytes_read")), 0u);
+}
+
+TEST(CliSmoke, InvalidBackendFails) {
+  RunCli("count --algo=ps-cache-aware --graph=clique:k=5 --backend=floppy",
+         /*expected_status=*/2);
+}
+
+TEST(CliSmoke, NonexistentTempDirFails) {
+  RunCli(
+      "count --algo=ps-cache-aware --graph=clique:k=5 --backend=file"
+      " --temp-dir=/nonexistent-trienum-dir",
+      /*expected_status=*/2);
+}
+
 }  // namespace
 }  // namespace trienum

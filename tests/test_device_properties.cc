@@ -1,0 +1,154 @@
+// Randomized property tests for the Device allocator's region discipline —
+// the invariants the file-backed storage path relies on: Mark/Release LIFO
+// nesting, peak-words monotonicity, and block-aligned allocations never
+// sharing a cache line. Each property drives a seeded random op sequence
+// against a host-side model and runs on both storage backends (address
+// assignment must be backend-independent).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "em/device.h"
+
+namespace trienum {
+namespace {
+
+constexpr std::size_t kBlock = 16;
+
+std::unique_ptr<em::StorageBackend> MakeBackend(bool file) {
+  if (file) return std::make_unique<em::FileBackend>();
+  return std::make_unique<em::MemoryBackend>();
+}
+
+TEST(DeviceProperty, MarkReleaseNestingIsLifo) {
+  // Random interleaving of {open region, allocate, close region}: after every
+  // close, the device top must equal the mark recorded at the matching open,
+  // and marks must pop in strict LIFO order.
+  for (bool file : {false, true}) {
+    SCOPED_TRACE(file ? "file" : "memory");
+    em::Device dev(MakeBackend(file));
+    SplitMix64 rng(0xA11C);
+    std::vector<em::Addr> marks;  // model of the open-region stack
+    for (int step = 0; step < 2000; ++step) {
+      std::uint64_t op = rng.Below(3);
+      if (op == 0) {
+        marks.push_back(dev.Mark());
+      } else if (op == 1 && !marks.empty() && rng.Below(4) == 0) {
+        em::Addr expected = marks.back();
+        marks.pop_back();
+        dev.Release(expected);
+        ASSERT_EQ(dev.Mark(), expected) << "release must restore the mark";
+      } else {
+        std::size_t before = dev.allocated_words();
+        em::Addr base = dev.Allocate(1 + rng.Below(200), kBlock);
+        ASSERT_GE(base, before) << "allocation must come from the top";
+        ASSERT_GT(dev.allocated_words(), before);
+      }
+      // Invariant: open marks are non-decreasing and bounded by the top.
+      for (std::size_t i = 1; i < marks.size(); ++i) {
+        ASSERT_LE(marks[i - 1], marks[i]);
+      }
+      if (!marks.empty()) {
+        ASSERT_LE(marks.back(), dev.Mark());
+      }
+    }
+  }
+}
+
+TEST(DeviceProperty, PeakWordsIsMonotoneAndDominatesAllocation) {
+  // peak_words never decreases under any op sequence and always dominates
+  // the current allocation level — the substrate of the O(E) disk claims.
+  em::Device dev;
+  SplitMix64 rng(0xBEEF);
+  std::vector<em::Addr> marks;
+  std::size_t last_peak = dev.peak_words();
+  for (int step = 0; step < 3000; ++step) {
+    if (rng.Below(3) == 0) {
+      if (rng.Below(2) == 0 || marks.empty()) {
+        marks.push_back(dev.Mark());
+      } else {
+        dev.Release(marks.back());
+        marks.pop_back();
+      }
+    } else {
+      dev.Allocate(1 + rng.Below(500), 1 + rng.Below(kBlock));
+    }
+    ASSERT_GE(dev.peak_words(), last_peak) << "peak must be monotone";
+    ASSERT_GE(dev.peak_words(), dev.allocated_words());
+    last_peak = dev.peak_words();
+  }
+  // ResetPeak re-anchors to the current level (used between measured phases).
+  dev.ResetPeak();
+  EXPECT_EQ(dev.peak_words(), dev.allocated_words());
+}
+
+TEST(DeviceProperty, BlockAlignedAllocationsNeverShareACacheLine) {
+  // Every block-aligned allocation must occupy its own set of B-word lines:
+  // I/O accounting may never charge one array for another's traffic, and the
+  // staged cache may never write one array's dirty line over another's words.
+  for (bool file : {false, true}) {
+    SCOPED_TRACE(file ? "file" : "memory");
+    em::Device dev(MakeBackend(file));
+    SplitMix64 rng(0xCAFE);
+    struct Extent {
+      em::Addr first_line;
+      em::Addr last_line;
+    };
+    std::vector<std::vector<Extent>> live(1);  // per open region
+    std::vector<em::Addr> marks;
+    for (int step = 0; step < 1500; ++step) {
+      std::uint64_t op = rng.Below(8);
+      if (op == 0) {
+        marks.push_back(dev.Mark());
+        live.emplace_back();
+      } else if (op == 1 && !marks.empty()) {
+        dev.Release(marks.back());
+        marks.pop_back();
+        live.pop_back();
+      } else {
+        std::size_t words = 1 + rng.Below(3 * kBlock);
+        em::Addr base = dev.Allocate(words, kBlock);
+        ASSERT_EQ(base % kBlock, 0u) << "allocation must be block-aligned";
+        Extent e{base / kBlock, (base + words - 1) / kBlock};
+        for (const auto& region : live) {
+          for (const Extent& other : region) {
+            ASSERT_TRUE(e.first_line > other.last_line ||
+                        e.last_line < other.first_line)
+                << "line sets of live allocations must be disjoint";
+          }
+        }
+        live.back().push_back(e);
+      }
+    }
+  }
+}
+
+TEST(DeviceProperty, AddressAssignmentIsBackendIndependent) {
+  // Identical op sequences must yield identical addresses on both backends —
+  // the precondition for IoStats being backend-independent.
+  em::Device mem(MakeBackend(false));
+  em::Device file(MakeBackend(true));
+  SplitMix64 rng(0x5EED);
+  std::vector<std::pair<em::Addr, em::Addr>> marks;
+  for (int step = 0; step < 1000; ++step) {
+    std::uint64_t op = rng.Below(4);
+    if (op == 0) {
+      marks.emplace_back(mem.Mark(), file.Mark());
+    } else if (op == 1 && !marks.empty()) {
+      mem.Release(marks.back().first);
+      file.Release(marks.back().second);
+      marks.pop_back();
+    } else {
+      std::size_t words = 1 + rng.Below(300);
+      std::size_t align = 1 + rng.Below(64);
+      ASSERT_EQ(mem.Allocate(words, align), file.Allocate(words, align));
+    }
+    ASSERT_EQ(mem.Mark(), file.Mark());
+    ASSERT_EQ(mem.peak_words(), file.peak_words());
+  }
+}
+
+}  // namespace
+}  // namespace trienum

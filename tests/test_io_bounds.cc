@@ -81,6 +81,55 @@ TEST(IoBounds, EveryAlgorithmAtLeastScansTheInput) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Pinned I/O regressions: exact measured block I/Os on a fixed seeded input
+// (Gnm(2^12, 2^14, seed 101) under M=2^10, B=16, context seed 0x7001),
+// with a ±10% tolerance band. A cache or algorithm refactor that silently
+// changes I/O behavior beyond noise must show up here and be re-pinned
+// deliberately. The triangle count is pinned exactly: it is seed-determined
+// and any drift means the algorithm (not just the accounting) changed.
+
+constexpr double kPinTolerance = 0.10;
+
+void ExpectPinnedIos(const std::string& algo, std::uint64_t pinned_tris,
+                     double pinned_ios) {
+  std::uint64_t tris = 0;
+  double ios = MeasureIos(algo, TestGraph(), kM, kB, &tris);
+  EXPECT_EQ(tris, pinned_tris) << algo << ": seed-determined count drifted";
+  EXPECT_GE(ios, (1.0 - kPinTolerance) * pinned_ios)
+      << algo << ": I/Os dropped >10% below the pinned value " << pinned_ios
+      << " — if intentional, re-pin (and celebrate)";
+  EXPECT_LE(ios, (1.0 + kPinTolerance) * pinned_ios)
+      << algo << ": I/Os regressed >10% above the pinned value " << pinned_ios;
+}
+
+TEST(IoBounds, PinnedRegressionCacheAware) {
+  ExpectPinnedIos("ps-cache-aware", 71, 90266.0);
+}
+
+TEST(IoBounds, PinnedRegressionCacheOblivious) {
+  ExpectPinnedIos("ps-cache-oblivious", 71, 1034172.0);
+}
+
+TEST(IoBounds, PinnedRegressionHoldsOnFileBackend) {
+  // The same pinned envelope measured on the file backend: IoStats are
+  // backend-independent, so the identical values must reproduce bit-for-bit
+  // against the memory measurement.
+  std::uint64_t tris_mem = 0, tris_file = 0;
+  double ios_mem =
+      MeasureIos("ps-cache-aware", TestGraph(), kM, kB, &tris_mem);
+  em::Context ctx = test::MakeFileContext(kM, kB);
+  EmGraph g = BuildEmGraph(ctx, TestGraph());
+  ctx.cache().Reset();
+  core::CountingSink sink;
+  core::FindAlgorithm("ps-cache-aware")->run(ctx, g, sink);
+  ctx.cache().FlushAll();
+  tris_file = sink.count();
+  double ios_file = static_cast<double>(ctx.cache().stats().total_ios());
+  EXPECT_EQ(tris_mem, tris_file);
+  EXPECT_EQ(ios_mem, ios_file);
+}
+
 TEST(IoBounds, ImprovementFactorGrowsWithEOverM) {
   // The paper's improvement over MGT is min(sqrt(E/M), sqrt(M)): the
   // measured MGT/ours ratio must grow as E/M grows (M fixed, E growing).

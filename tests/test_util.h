@@ -18,12 +18,21 @@ namespace trienum::test {
 
 inline em::Context MakeContext(std::size_t m_words = 1 << 12,
                                std::size_t b_words = 16,
-                               std::uint64_t seed = 0x7001) {
+                               std::uint64_t seed = 0x7001,
+                               em::StorageKind storage = em::StorageKind::kMemory) {
   em::EmConfig cfg;
   cfg.memory_words = m_words;
   cfg.block_words = b_words;
   cfg.seed = seed;
+  cfg.storage = storage;
   return em::Context(cfg);
+}
+
+/// Context whose device lives in a temp file (out-of-core storage backend).
+inline em::Context MakeFileContext(std::size_t m_words = 1 << 12,
+                                   std::size_t b_words = 16,
+                                   std::uint64_t seed = 0x7001) {
+  return MakeContext(m_words, b_words, seed, em::StorageKind::kFile);
 }
 
 /// Runs the named algorithm on raw host edges; returns the collected

@@ -14,9 +14,11 @@
 // convention) or `<generator>:key=value,...`; run `trienum help` for the
 // full generator table.
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <limits>
 #include <string>
 #include <vector>
@@ -52,6 +54,12 @@ constexpr char kUsage[] =
     "  --block=<B>               block size in words        (default 64)\n"
     "  --seed=<S>                master seed                (default 2014)\n"
     "  --limit=<N>               max triangles to print     (enumerate only)\n"
+    "  --backend=<memory|file>   storage backend            (default memory)\n"
+    "                            memory: RAM-resident, I/Os simulated only\n"
+    "                            file:   temp-file store, resident memory\n"
+    "                                    O(M); real pread/pwrite per block\n"
+    "  --temp-dir=<path>         dir for the file backend's (unlinked) temp\n"
+    "                            file (default $TMPDIR, then /tmp)\n"
     "\n"
     "graph generators (`<name>:k1=v1,k2=v2,...`):\n"
     "  gnm:n=1024,m=4096,seed=1          Erdos-Renyi G(n, m)\n"
@@ -84,6 +92,8 @@ struct Options {
   std::size_t block_words = 64;
   std::uint64_t seed = 2014;
   std::size_t limit = 20;
+  em::StorageKind backend = em::StorageKind::kMemory;
+  std::string temp_dir;
 };
 
 std::uint64_t ParseU64(const std::string& key, const std::string& value) {
@@ -130,6 +140,16 @@ Options ParseOptions(int argc, char** argv) {
       opt.seed = ParseU64(key, value);
     } else if (key == "limit") {
       opt.limit = ParseU64(key, value);
+    } else if (key == "backend") {
+      if (value == "memory") {
+        opt.backend = em::StorageKind::kMemory;
+      } else if (value == "file") {
+        opt.backend = em::StorageKind::kFile;
+      } else {
+        Die("--backend must be 'memory' or 'file', got '" + value + "'");
+      }
+    } else if (key == "temp-dir") {
+      opt.temp_dir = value;
     } else {
       Die("unknown option --" + key);
     }
@@ -139,6 +159,14 @@ Options ParseOptions(int argc, char** argv) {
   }
   if (opt.block_words > opt.memory_words) {
     Die("--block must not exceed --memory (need at least one cache line)");
+  }
+  if (!opt.temp_dir.empty()) {
+    // Validate here so a bad path dies with a usage error instead of
+    // tripping the FileBackend's internal mkstemp TRIENUM_CHECK abort.
+    std::error_code ec;
+    if (!std::filesystem::is_directory(opt.temp_dir, ec)) {
+      Die("--temp-dir '" + opt.temp_dir + "' is not an existing directory");
+    }
   }
   return opt;
 }
@@ -333,7 +361,10 @@ int CmdRun(const Options& opt, bool enumerate) {
   cfg.memory_words = opt.memory_words;
   cfg.block_words = opt.block_words;
   cfg.seed = opt.seed;
+  cfg.storage = opt.backend;
+  cfg.temp_dir = opt.temp_dir;
   em::Context ctx(cfg);
+  std::fprintf(stderr, "[storage] %s backend\n", ctx.device().backend().name());
 
   std::fprintf(stderr, "[normalize] degree-rank relabel + lexicographic sort (uncounted)\n");
   ctx.cache().set_counting(false);
@@ -351,9 +382,17 @@ int CmdRun(const Options& opt, bool enumerate) {
   core::TriangleSink& sink =
       enumerate ? static_cast<core::TriangleSink&>(collect_sink)
                 : static_cast<core::TriangleSink&>(count_sink);
+  em::StorageTelemetry tel_before = ctx.device().backend().telemetry();
+  auto t0 = std::chrono::steady_clock::now();
   info->run(ctx, g, sink);
   ctx.cache().FlushAll();
-  std::fprintf(stderr, "[run] done\n");
+  auto t1 = std::chrono::steady_clock::now();
+  em::StorageTelemetry tel =
+      ctx.device().backend().telemetry() - tel_before;
+  double wall_ms =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(t1 - t0)
+          .count();
+  std::fprintf(stderr, "[run] done in %.1f ms\n", wall_ms);
 
   std::uint64_t triangles =
       enumerate ? collect_sink.triangles().size() : count_sink.count();
@@ -368,6 +407,7 @@ int CmdRun(const Options& opt, bool enumerate) {
 
   std::printf("algorithm = %s\n", opt.algo.c_str());
   std::printf("graph = %s\n", opt.graph.c_str());
+  std::printf("backend = %s\n", ctx.device().backend().name());
   std::printf("edges = %zu\n", g.num_edges());
   std::printf("vertices = %u\n", g.num_vertices);
   std::printf("memory_words = %zu\n", cfg.memory_words);
@@ -379,6 +419,16 @@ int CmdRun(const Options& opt, bool enumerate) {
               static_cast<unsigned long long>(io.block_writes));
   std::printf("block_ios = %llu\n",
               static_cast<unsigned long long>(io.total_ios()));
+  std::printf("wall_ms = %.2f\n", wall_ms);
+  std::printf("real_read_calls = %llu\n",
+              static_cast<unsigned long long>(tel.read_calls));
+  std::printf("real_write_calls = %llu\n",
+              static_cast<unsigned long long>(tel.write_calls));
+  std::printf("real_bytes_read = %llu\n",
+              static_cast<unsigned long long>(tel.bytes_read));
+  std::printf("real_bytes_written = %llu\n",
+              static_cast<unsigned long long>(tel.bytes_written));
+  std::printf("device_peak_words = %zu\n", ctx.device().peak_words());
   std::printf("internal_work = %llu\n",
               static_cast<unsigned long long>(ctx.work()));
   std::printf("predicted_bound = %.0f\n", bound);
