@@ -1,0 +1,244 @@
+// Hot-path microbenchmarks for the block-buffered Scanner/Writer rebuild:
+// scan/write/merge/clone throughput down the buffered vs the element-wise
+// path (same IoStats, different wall clock — the whole point), the pinned-
+// line zero-copy sweep, and end-to-end enumeration per algorithm in both
+// modes. The `mode_speedup`-style ratios in BENCH_hotpath.json are the
+// committed record of what block-granular transfers buy at each level.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "em/array.h"
+#include "extsort/ext_merge_sort.h"
+#include "extsort/scan_ops.h"
+
+namespace trienum::bench {
+namespace {
+
+em::Context MakeCtx(em::StorageKind storage = em::StorageKind::kMemory) {
+  em::EmConfig cfg;
+  cfg.memory_words = 1 << 14;
+  cfg.block_words = 64;
+  cfg.storage = storage;
+  return em::Context(cfg);
+}
+
+em::ScanMode ModeOf(const benchmark::State& state) {
+  return state.range(0) == 0 ? em::ScanMode::kElementwise
+                             : em::ScanMode::kBuffered;
+}
+
+void SetModeLabel(benchmark::State& state) {
+  state.SetLabel(state.range(0) == 0 ? "elementwise" : "buffered");
+}
+
+// --- Stream micro-throughput ------------------------------------------------
+
+void BM_ScanThroughput(benchmark::State& state) {
+  const std::size_t n = 1 << 20;
+  em::Context ctx = MakeCtx();
+  em::Array<std::uint64_t> a = ctx.Alloc<std::uint64_t>(n);
+  ctx.cache().set_counting(false);
+  std::vector<std::uint64_t> host(n);
+  for (std::size_t i = 0; i < n; ++i) host[i] = i * 31;
+  a.WriteFrom(0, n, host.data());
+  ctx.cache().set_counting(true);
+  em::ScopedScanMode sm(ModeOf(state));
+  std::uint64_t acc = 0;
+  for (auto _ : state) {
+    ctx.cache().Reset();
+    em::Scanner<std::uint64_t> in(a);
+    while (in.HasNext()) acc += in.Next();
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+  state.counters["ios"] = static_cast<double>(ctx.cache().stats().total_ios());
+  SetModeLabel(state);
+}
+BENCHMARK(BM_ScanThroughput)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_WriteThroughput(benchmark::State& state) {
+  const std::size_t n = 1 << 20;
+  em::Context ctx = MakeCtx();
+  em::Array<std::uint64_t> a = ctx.Alloc<std::uint64_t>(n);
+  em::ScopedScanMode sm(ModeOf(state));
+  for (auto _ : state) {
+    ctx.cache().Reset();
+    em::Writer<std::uint64_t> w(a);
+    for (std::size_t i = 0; i < n; ++i) w.Push(i * 7);
+    w.Flush();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+  state.counters["ios"] = static_cast<double>(ctx.cache().stats().total_ios());
+  SetModeLabel(state);
+}
+BENCHMARK(BM_WriteThroughput)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_FilterThroughput(benchmark::State& state) {
+  const std::size_t n = 1 << 20;
+  em::Context ctx = MakeCtx();
+  em::Array<std::uint64_t> a = ctx.Alloc<std::uint64_t>(n);
+  em::Array<std::uint64_t> b = ctx.Alloc<std::uint64_t>(n);
+  ctx.cache().set_counting(false);
+  std::vector<std::uint64_t> host(n);
+  for (std::size_t i = 0; i < n; ++i) host[i] = i;
+  a.WriteFrom(0, n, host.data());
+  ctx.cache().set_counting(true);
+  em::ScopedScanMode sm(ModeOf(state));
+  for (auto _ : state) {
+    ctx.cache().Reset();
+    std::size_t kept =
+        extsort::Filter(a, b, [](std::uint64_t v) { return (v & 3) != 0; });
+    benchmark::DoNotOptimize(kept);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+  SetModeLabel(state);
+}
+BENCHMARK(BM_FilterThroughput)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_MergeSortWall(benchmark::State& state) {
+  const std::size_t n = 1 << 18;
+  em::Context ctx = MakeCtx();
+  em::Array<std::uint64_t> a = ctx.Alloc<std::uint64_t>(n);
+  std::vector<std::uint64_t> host(n);
+  SplitMix64 rng(42);
+  for (std::size_t i = 0; i < n; ++i) host[i] = rng.Next();
+  em::ScopedScanMode sm(ModeOf(state));
+  for (auto _ : state) {
+    state.PauseTiming();
+    ctx.cache().set_counting(false);
+    a.WriteFrom(0, n, host.data());
+    ctx.cache().set_counting(true);
+    ctx.cache().Reset();
+    state.ResumeTiming();
+    extsort::ExternalMergeSort(
+        ctx, a, [](std::uint64_t x, std::uint64_t y) { return x < y; });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+  state.counters["ios"] = static_cast<double>(ctx.cache().stats().total_ios());
+  SetModeLabel(state);
+}
+BENCHMARK(BM_MergeSortWall)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_CloneThroughput(benchmark::State& state) {
+  const std::size_t n = 1 << 19;
+  em::Context ctx = MakeCtx();
+  em::Array<std::uint64_t> src = ctx.Alloc<std::uint64_t>(n);
+  ctx.cache().set_counting(false);
+  std::vector<std::uint64_t> host(n);
+  for (std::size_t i = 0; i < n; ++i) host[i] = i ^ 0xABCD;
+  src.WriteFrom(0, n, host.data());
+  ctx.cache().set_counting(true);
+  const bool chunked = state.range(0) == 1;
+  for (auto _ : state) {
+    ctx.cache().Reset();
+    auto region = ctx.Region();
+    if (chunked) {
+      em::Array<std::uint64_t> dst = em::CloneArray(ctx, src);
+      benchmark::DoNotOptimize(dst.base());
+    } else {
+      // The old record-at-a-time clone, kept as the before-side.
+      em::Array<std::uint64_t> dst = ctx.Alloc<std::uint64_t>(n);
+      for (std::size_t i = 0; i < n; ++i) dst.Set(i, src.Get(i));
+      benchmark::DoNotOptimize(dst.base());
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+  state.SetLabel(chunked ? "chunked" : "per_record");
+}
+BENCHMARK(BM_CloneThroughput)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_PinnedLineSweep(benchmark::State& state) {
+  // Reading one line's records through a pinned pointer vs per-record Gets:
+  // identical charges (one touch per record), no per-record copy chain.
+  const std::size_t n = 1 << 18;
+  em::Context ctx = MakeCtx();
+  em::Array<std::uint64_t> a = ctx.Alloc<std::uint64_t>(n);
+  ctx.cache().set_counting(false);
+  std::vector<std::uint64_t> host(n);
+  for (std::size_t i = 0; i < n; ++i) host[i] = i;
+  a.WriteFrom(0, n, host.data());
+  ctx.cache().set_counting(true);
+  const std::size_t b = ctx.block_words();
+  const bool pinned = state.range(0) == 1;
+  std::uint64_t acc = 0;
+  for (auto _ : state) {
+    ctx.cache().Reset();
+    if (pinned) {
+      for (std::size_t lo = 0; lo < n; lo += b) {
+        em::PinnedLine pin = ctx.PinLine(a.AddrOf(lo), /*write=*/false);
+        for (std::size_t i = 1; i < b; ++i) {
+          ctx.TouchRange(pin.base() + i, 1, false);
+        }
+        const em::Word* words = pin.data();
+        for (std::size_t i = 0; i < b; ++i) acc += words[i];
+      }
+    } else {
+      for (std::size_t i = 0; i < n; ++i) acc += a.Get(i);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+  state.counters["ios"] = static_cast<double>(ctx.cache().stats().total_ios());
+  state.SetLabel(pinned ? "pinned_line" : "per_record_get");
+}
+BENCHMARK(BM_PinnedLineSweep)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// --- End-to-end enumeration, both modes ------------------------------------
+
+void BM_EndToEnd(benchmark::State& state, const std::string& algo,
+                 em::StorageKind storage) {
+  const std::size_t e = 1 << 16;
+  auto raw = graph::Gnm(static_cast<graph::VertexId>(e / 4), e, 1001);
+  em::ScopedScanMode sm(ModeOf(state));
+  RunOutcome out;
+  for (auto _ : state) {
+    em::EmConfig cfg;
+    cfg.memory_words = 1 << 14;
+    cfg.block_words = 64;
+    cfg.storage = storage;
+    em::Context ctx(cfg);
+    ctx.cache().set_counting(false);
+    graph::EmGraph g = graph::BuildEmGraph(ctx, raw);
+    ctx.cache().set_counting(true);
+    ctx.cache().Reset();
+    core::ChecksumSink sink;
+    auto t0 = std::chrono::steady_clock::now();
+    core::FindAlgorithm(algo)->run(ctx, g, sink);
+    ctx.cache().FlushAll();
+    auto t1 = std::chrono::steady_clock::now();
+    out.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    out.triangles = sink.count();
+    out.io = ctx.cache().stats();
+  }
+  state.counters["wall_ms"] = out.wall_ms;
+  state.counters["ios"] = static_cast<double>(out.io.total_ios());
+  state.counters["triangles"] = static_cast<double>(out.triangles);
+  SetModeLabel(state);
+}
+
+#define HOTPATH_E2E(id, algo)                                             \
+  BENCHMARK_CAPTURE(BM_EndToEnd, id, algo, em::StorageKind::kMemory)      \
+      ->Arg(0)                                                            \
+      ->Arg(1)                                                            \
+      ->Iterations(1)                                                     \
+      ->Unit(benchmark::kMillisecond);                                    \
+  BENCHMARK_CAPTURE(BM_EndToEnd, id##_file, algo, em::StorageKind::kFile) \
+      ->Arg(0)                                                            \
+      ->Arg(1)                                                            \
+      ->Iterations(1)                                                     \
+      ->Unit(benchmark::kMillisecond)
+
+HOTPATH_E2E(ps_cache_aware, "ps-cache-aware");
+HOTPATH_E2E(mgt, "mgt");
+HOTPATH_E2E(dementiev, "dementiev");
+HOTPATH_E2E(edge_iterator, "edge-iterator");
+
+#undef HOTPATH_E2E
+
+}  // namespace
+}  // namespace trienum::bench

@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,7 @@ struct RunOutcome {
   std::uint64_t work = 0;
   std::size_t num_edges = 0;
   std::size_t peak_disk_words = 0;
+  double wall_ms = 0;  ///< wall clock of the measured run (build excluded)
 };
 
 /// Builds the graph (uncounted), resets the cache cold, runs the named
@@ -49,10 +51,14 @@ inline RunOutcome MeasureAlgorithm(const std::string& algo_name,
 
   core::ChecksumSink sink;
   const core::AlgorithmInfo* algo = core::FindAlgorithm(algo_name);
+  auto t0 = std::chrono::steady_clock::now();
   algo->run(ctx, g, sink);
   ctx.cache().FlushAll();
+  auto t1 = std::chrono::steady_clock::now();
 
   RunOutcome out;
+  out.wall_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
   out.triangles = sink.count();
   out.checksum = sink.checksum();
   out.io = ctx.cache().stats();
@@ -65,6 +71,7 @@ inline RunOutcome MeasureAlgorithm(const std::string& algo_name,
 /// Attaches the standard counters to a benchmark state.
 inline void ReportIo(benchmark::State& state, const RunOutcome& out,
                      double predicted_bound) {
+  state.counters["wall_ms"] = out.wall_ms;
   state.counters["ios"] = static_cast<double>(out.io.total_ios());
   state.counters["reads"] = static_cast<double>(out.io.block_reads);
   state.counters["writes"] = static_cast<double>(out.io.block_writes);

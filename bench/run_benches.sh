@@ -35,10 +35,31 @@ for bin in "${bench_dir}"/bench_*; do
   out="${out_dir}/BENCH_${name#bench_}.json"
   echo "== ${name} -> ${out}"
   "${bin}" --benchmark_format=json "$@" > "${out}"
+
+  # Every benchmark entry carries wall_ms: benches that measure the run
+  # themselves report it as a counter; for the rest, derive it from
+  # google-benchmark's real_time so the committed perf trajectory always has
+  # a comparable wall-clock column.
+  python3 - "${out}" <<'PYEOF'
+import json, sys
+path = sys.argv[1]
+with open(path) as f:
+    doc = json.load(f)
+scale = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
+for b in doc.get("benchmarks", []):
+    if "wall_ms" not in b:
+        b["wall_ms"] = b.get("real_time", 0.0) * scale.get(b.get("time_unit", "ns"), 1e-6)
+with open(path, "w") as f:
+    json.dump(doc, f, indent=1)
+missing = [b["name"] for b in doc.get("benchmarks", []) if "wall_ms" not in b]
+if missing:
+    sys.exit(f"wall_ms missing for: {missing}")
+PYEOF
 done
 
 if [[ "${found}" -eq 0 ]]; then
   echo "error: no bench_* executables in ${bench_dir}" >&2
   exit 1
 fi
-echo "done. (BENCH_backends.json carries the simulated-vs-real I/O counters.)"
+echo "done. (BENCH_backends.json carries the simulated-vs-real I/O counters;"
+echo " BENCH_hotpath.json the buffered-vs-element-wise wall-clock ratios.)"

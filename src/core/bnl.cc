@@ -25,8 +25,9 @@ void FlushCandidates(em::Context& ctx, const graph::EmGraph& g,
   });
   ctx.AddWork(cand.size() * 2);
   std::size_t ci = 0;
-  for (std::size_t i = 0; i < g.num_edges() && ci < cand.size(); ++i) {
-    graph::Edge e = g.edges.Get(i);
+  em::Scanner<graph::Edge> es(g.edges);
+  while (es.HasNext() && ci < cand.size()) {
+    graph::Edge e = es.Next();
     while (ci < cand.size() &&
            std::tie(cand[ci].v1, cand[ci].v3) < std::tie(e.u, e.v)) {
       ++ci;
@@ -70,8 +71,9 @@ void EnumerateBnl(em::Context& ctx, const graph::EmGraph& g, TriangleSink& sink,
     cand.reserve(cand_cap);
 
     // Inner scan: join (v1, v2) with (v2, v3) on v2.
-    for (std::size_t i = 0; i < m; ++i) {
-      graph::Edge e = g.edges.Get(i);
+    em::Scanner<graph::Edge> es(g.edges);
+    while (es.HasNext()) {
+      graph::Edge e = es.Next();
       ctx.AddWork(1);
       auto it = by_second.find(e.u);
       if (it == by_second.end()) continue;

@@ -78,10 +78,9 @@ void EnumerateCacheAware(em::Context& ctx, const graph::EmGraph& g,
   // Colors attached once (stored with the edge, then stripped after the
   // bucket sort so step 3 streams one-word edges as the paper assumes).
   em::Array<ColoredEdge> colored = ctx.Alloc<ColoredEdge>(wlen);
-  for (std::size_t i = 0; i < wlen; ++i) {
-    Edge e = low.Get(i);
-    colored.Set(i, ColoredEdge{e.u, e.v, color(e.u), color(e.v)});
-  }
+  extsort::Transform(low, colored, [&](const Edge& e) {
+    return ColoredEdge{e.u, e.v, color(e.u), color(e.v)};
+  });
   extsort::ExternalMergeSort(ctx, colored,
                              [](const ColoredEdge& a, const ColoredEdge& b) {
                                return std::tie(a.cu, a.cv, a.u, a.v) <
@@ -95,11 +94,16 @@ void EnumerateCacheAware(em::Context& ctx, const graph::EmGraph& g,
   em::Array<std::uint64_t> offsets = ctx.Alloc<std::uint64_t>(num_keys + 1);
   em::Array<Edge> buckets = ctx.Alloc<Edge>(wlen);
   for (std::size_t k = 0; k <= num_keys; ++k) offsets.Set(k, 0);
-  for (std::size_t i = 0; i < wlen; ++i) {
-    ColoredEdge e = colored.Get(i);
-    std::size_t key = static_cast<std::size_t>(e.cu) * c + e.cv;
-    offsets.Set(key + 1, offsets.Get(key + 1) + 1);
-    buckets.Set(i, Edge{e.u, e.v});
+  {
+    em::Scanner<ColoredEdge> in(colored);
+    em::Writer<Edge> out(buckets);
+    while (in.HasNext()) {
+      ColoredEdge e = in.Next();
+      std::size_t key = static_cast<std::size_t>(e.cu) * c + e.cv;
+      offsets.Set(key + 1, offsets.Get(key + 1) + 1);
+      out.Push(Edge{e.u, e.v});
+    }
+    out.Flush();  // step 3 reads `buckets` below
   }
   {
     std::uint64_t run = 0;

@@ -66,37 +66,98 @@ class CoRunner {
       cc[z] = {2 * col[0] - ((z >> 0) & 1), 2 * col[1] - ((z >> 1) & 1),
                2 * col[2] - ((z >> 2) & 1)};
     }
-    auto route = [&](const ColoredEdge& e, auto&& per_child) {
-      std::uint32_t nu = 2 * e.cu - bh.Bit(e.u);
-      std::uint32_t nv = 2 * e.cv - bh.Bit(e.v);
+    // Closed-form child dispatch: a slot-(i,j) match pins two of z's three
+    // bits (z's bit k is position k's refinement bit), leaving exactly two
+    // candidate children per slot class. Equivalent to comparing (nu, nv)
+    // against all eight cc[z] rows, at a fraction of the work.
+    auto route = [&](const ColoredEdge& e, std::uint32_t bu, std::uint32_t bv,
+                     auto&& per_child) {
+      const std::uint32_t nu = 2 * e.cu - bu;
+      const std::uint32_t nv = 2 * e.cv - bv;
       ctx_.AddWork(2);
+      std::uint8_t fl[8] = {};
+      if (e.cu == col[0] && e.cv == col[1]) {
+        std::uint32_t z = bu | (bv << 1);
+        fl[z] |= 1;
+        fl[z | 4] |= 1;
+      }
+      if (e.cu == col[1] && e.cv == col[2]) {
+        std::uint32_t z = (bu << 1) | (bv << 2);
+        fl[z] |= 2;
+        fl[z | 1] |= 2;
+      }
+      if (e.cu == col[0] && e.cv == col[2]) {
+        std::uint32_t z = bu | (bv << 2);
+        fl[z] |= 4;
+        fl[z | 2] |= 4;
+      }
       for (int z = 0; z < 8; ++z) {
-        bool s01 = nu == cc[z][0] && nv == cc[z][1];
-        bool s12 = nu == cc[z][1] && nv == cc[z][2];
-        bool s02 = nu == cc[z][0] && nv == cc[z][2];
-        if (s01 || s12 || s02) {
-          per_child(z, ColoredEdge{e.u, e.v, nu, nv}, s01, s12, s02);
+        if (fl[z] != 0) {
+          per_child(z, ColoredEdge{e.u, e.v, nu, nv}, (fl[z] & 1) != 0,
+                    (fl[z] & 2) != 0, (fl[z] & 4) != 0);
         }
       }
     };
-    for (std::size_t i = 0; i < len; ++i) {
-      ColoredEdge e = a.Get(i);
-      route(e, [&](int z, const ColoredEdge&, bool s01, bool s12, bool s02) {
-        ++child_len[z];
-        slots[z][0] += s01 ? 1 : 0;
-        slots[z][1] += s12 ? 1 : 0;
-        slots[z][2] += s02 ? 1 : 0;
-      });
-    }
     std::array<em::Writer<ColoredEdge>, 8> writers;
-    for (int z = 0; z < 8; ++z) {
-      writers[z] = em::Writer<ColoredEdge>(ctx_.Alloc<ColoredEdge>(child_len[z]));
-    }
-    for (std::size_t i = 0; i < len; ++i) {
-      ColoredEdge e = a.Get(i);
-      route(e, [&](int z, const ColoredEdge& ce, bool, bool, bool) {
-        writers[z].Push(ce);
-      });
+    if (len < kSmallNode) {
+      // Small-subproblem fast path (the recursion spends most of its nodes
+      // here: millions of subproblems of a dozen edges). One charged read
+      // brings the records host-side; the second pass re-charges the scan
+      // without re-moving data, and the refinement bits are computed once
+      // and reused. The touch sequence is identical to the two-scan path.
+      std::array<ColoredEdge, kSmallNode> ebuf;
+      std::array<std::uint8_t, kSmallNode> ubit, vbit;
+      a.ReadScanInto(0, len, ebuf.data());
+      for (std::size_t i = 0; i < len; ++i) {
+        ubit[i] = static_cast<std::uint8_t>(bh.Bit(ebuf[i].u));
+        vbit[i] = static_cast<std::uint8_t>(bh.Bit(ebuf[i].v));
+        route(ebuf[i], ubit[i], vbit[i],
+              [&](int z, const ColoredEdge&, bool s01, bool s12, bool s02) {
+                ++child_len[z];
+                slots[z][0] += s01 ? 1 : 0;
+                slots[z][1] += s12 ? 1 : 0;
+                slots[z][2] += s02 ? 1 : 0;
+              });
+      }
+      for (int z = 0; z < 8; ++z) {
+        writers[z] = em::Writer<ColoredEdge>(
+            ctx_.Alloc<ColoredEdge>(child_len[z]), em::ScanMode::kElementwise);
+      }
+      a.TouchScanRange(0, len);  // the routing pass's read charges
+      for (std::size_t i = 0; i < len; ++i) {
+        route(ebuf[i], ubit[i], vbit[i],
+              [&](int z, const ColoredEdge& ce, bool, bool, bool) {
+                writers[z].Push(ce);
+              });
+      }
+    } else {
+      {
+        em::Scanner<ColoredEdge> in(a.Slice(0, len));
+        while (in.HasNext()) {
+          ColoredEdge e = in.Next();
+          route(e, bh.Bit(e.u), bh.Bit(e.v),
+                [&](int z, const ColoredEdge&, bool s01, bool s12, bool s02) {
+                  ++child_len[z];
+                  slots[z][0] += s01 ? 1 : 0;
+                  slots[z][1] += s12 ? 1 : 0;
+                  slots[z][2] += s02 ? 1 : 0;
+                });
+        }
+      }
+      for (int z = 0; z < 8; ++z) {
+        writers[z] =
+            em::Writer<ColoredEdge>(ctx_.Alloc<ColoredEdge>(child_len[z]));
+      }
+      {
+        em::Scanner<ColoredEdge> in(a.Slice(0, len));
+        while (in.HasNext()) {
+          ColoredEdge e = in.Next();
+          route(e, bh.Bit(e.u), bh.Bit(e.v),
+                [&](int z, const ColoredEdge& ce, bool, bool, bool) {
+                  writers[z].Push(ce);
+                });
+        }
+      }
     }
     for (int z = 0; z < 8; ++z) {
       if (report_ != nullptr) report_->total_child_edges += child_len[z];
@@ -107,6 +168,11 @@ class CoRunner {
       Recurse(writers[z].Written(), cc[z], depth + 1);
     }
   }
+
+  /// Below this size a subproblem's materialization runs from a host copy
+  /// (one charged read + a charge-only second scan) instead of the streaming
+  /// two-pass — identical IoStats, none of the per-node stream setup.
+  static constexpr std::size_t kSmallNode = 64;
 
  private:
   /// Enumerates proper triangles through vertices of degree >= E/8 within
@@ -129,41 +195,71 @@ class CoRunner {
     std::vector<VertexId> high;
     {
       constexpr std::size_t kCounters = 31;
-      std::array<VertexId, kCounters> key{};
-      std::array<std::size_t, kCounters> cnt{};
+      // Misra-Gries state laid out for the hot loop: occupied slots hold
+      // their key, free slots hold a sentinel no vertex id can equal (ids
+      // are 32-bit), so the match scan is a branchless sweep and the lowest
+      // free slot comes from a bitmask — identical semantics to the
+      // original find-match/find-empty scans at a fraction of the work.
+      // This runs twice per edge of every subproblem.
+      constexpr std::uint64_t kFree = ~std::uint64_t{0};
+      std::array<std::uint64_t, kCounters> key;
+      std::array<std::uint32_t, kCounters> cnt{};
+      key.fill(kFree);
+      std::uint32_t free_mask = (1u << kCounters) - 1;
       auto offer = [&](VertexId v) {
-        for (std::size_t k = 0; k < kCounters; ++k) {
-          if (cnt[k] != 0 && key[k] == v) {
-            ++cnt[k];
-            return;
+        const std::uint64_t vv = v;
+        int match = -1;
+        for (int k = 0; k < static_cast<int>(kCounters); ++k) {
+          match = key[k] == vv ? k : match;
+        }
+        if (match >= 0) {
+          ++cnt[match];
+        } else if (free_mask != 0) {
+          int empty = __builtin_ctz(free_mask);  // lowest free slot first
+          key[empty] = vv;
+          cnt[empty] = 1;
+          free_mask &= ~(1u << empty);
+        } else {
+          for (std::size_t k = 0; k < kCounters; ++k) {
+            if (--cnt[k] == 0) {
+              key[k] = kFree;
+              free_mask |= 1u << k;
+            }
           }
         }
-        for (std::size_t k = 0; k < kCounters; ++k) {
-          if (cnt[k] == 0) {
-            key[k] = v;
-            cnt[k] = 1;
-            return;
-          }
-        }
-        for (std::size_t k = 0; k < kCounters; ++k) --cnt[k];
       };
-      for (std::size_t i = 0; i < len; ++i) {
-        ColoredEdge e = a.Get(i);
-        offer(e.u);
-        offer(e.v);
-        ctx_.AddWork(2);
-      }
-      // Exact verification pass over the surviving candidates.
-      std::array<std::size_t, kCounters> exact{};
-      for (std::size_t i = 0; i < len; ++i) {
-        ColoredEdge e = a.Get(i);
-        for (std::size_t k = 0; k < kCounters; ++k) {
-          if (cnt[k] == 0) continue;
-          exact[k] += (key[k] == e.u) + (key[k] == e.v);
+      {
+        const em::ScanMode mode =
+            len >= 64 ? em::DefaultScanMode() : em::ScanMode::kElementwise;
+        em::Scanner<ColoredEdge> in(a.Slice(0, len), mode);
+        while (in.HasNext()) {
+          ColoredEdge e = in.Next();
+          offer(e.u);
+          offer(e.v);
+          ctx_.AddWork(2);
         }
       }
+      // Exact verification pass, compacted to the surviving candidates so
+      // the inner loop is a tight array sweep.
+      std::array<VertexId, kCounters> cand_key{};
+      std::array<std::size_t, kCounters> cand_exact{};
+      std::size_t nc = 0;
       for (std::size_t k = 0; k < kCounters; ++k) {
-        if (cnt[k] != 0 && exact[k] >= threshold) high.push_back(key[k]);
+        if (cnt[k] != 0) cand_key[nc++] = static_cast<VertexId>(key[k]);
+      }
+      {
+        const em::ScanMode mode =
+            len >= 64 ? em::DefaultScanMode() : em::ScanMode::kElementwise;
+        em::Scanner<ColoredEdge> in(a.Slice(0, len), mode);
+        while (in.HasNext()) {
+          ColoredEdge e = in.Next();
+          for (std::size_t k = 0; k < nc; ++k) {
+            cand_exact[k] += (cand_key[k] == e.u) + (cand_key[k] == e.v);
+          }
+        }
+      }
+      for (std::size_t k = 0; k < nc; ++k) {
+        if (cand_exact[k] >= threshold) high.push_back(cand_key[k]);
       }
     }
 
@@ -252,10 +348,9 @@ void EnumerateCacheOblivious(em::Context& ctx, const graph::EmGraph& g,
 
   // The (1,1,1)-problem under the constant coloring xi = 1.
   em::Array<ColoredEdge> root = ctx.Alloc<ColoredEdge>(m);
-  for (std::size_t i = 0; i < m; ++i) {
-    graph::Edge e = g.edges.Get(i);
-    root.Set(i, ColoredEdge{e.u, e.v, 1, 1});
-  }
+  extsort::Transform(g.edges, root, [](const graph::Edge& e) {
+    return ColoredEdge{e.u, e.v, 1, 1};
+  });
 
   int max_depth = 0;  // ceil(log4 E)
   while ((std::uint64_t{1} << (2 * max_depth)) < m) ++max_depth;

@@ -98,8 +98,9 @@ class QuadRecursor {
         std::uint32_t want_v = (pattern >> kSlotPos[s][1]) & 1;
         em::Array<Edge> out = ctx_.Alloc<Edge>(slots[s].size());
         em::Writer<Edge> w(out);
-        for (std::size_t i = 0; i < slots[s].size(); ++i) {
-          Edge e = slots[s].Get(i);
+        em::Scanner<Edge> in(slots[s]);
+        while (in.HasNext()) {
+          Edge e = in.Next();
           ctx_.AddWork(1);
           if (bh.Bit(e.u) == want_u && bh.Bit(e.v) == want_v) w.Push(e);
         }

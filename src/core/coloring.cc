@@ -28,25 +28,23 @@ ColoringStats ComputeColoringStats(em::Context& ctx, em::Array<graph::Edge> edge
 
   // Class keys, sorted: class sizes by run-length.
   em::Array<std::uint64_t> keys = ctx.Alloc<std::uint64_t>(m);
-  for (std::size_t i = 0; i < m; ++i) {
-    graph::Edge e = edges.Get(i);
-    std::uint64_t key =
-        static_cast<std::uint64_t>(color(e.u)) * c + color(e.v);
-    keys.Set(i, key);
-  }
+  extsort::Transform(edges, keys, [&](const graph::Edge& e) {
+    return static_cast<std::uint64_t>(color(e.u)) * c + color(e.v);
+  });
   extsort::ExternalMergeSort(ctx, keys, [](std::uint64_t a, std::uint64_t b) {
     return a < b;
   });
   {
-    std::uint64_t cur = keys.Get(0);
+    em::Scanner<std::uint64_t> in(keys);
+    std::uint64_t cur = in.Next();
     std::uint64_t cnt = 1;
     auto close_run = [&]() {
       out.x_total += Choose2(static_cast<double>(cnt));
       ++out.nonempty_classes;
       out.max_class_size = std::max(out.max_class_size, cnt);
     };
-    for (std::size_t i = 1; i < m; ++i) {
-      std::uint64_t k = keys.Get(i);
+    while (in.HasNext()) {
+      std::uint64_t k = in.Next();
       if (k == cur) {
         ++cnt;
       } else {
@@ -62,12 +60,16 @@ ColoringStats ComputeColoringStats(em::Context& ctx, em::Array<graph::Edge> edge
   // edges share at most one vertex (no parallel edges), so summing
   // C(count, 2) over (class, vertex) counts each adjacent pair exactly once.
   em::Array<IncidenceRec> inc = ctx.Alloc<IncidenceRec>(2 * m);
-  for (std::size_t i = 0; i < m; ++i) {
-    graph::Edge e = edges.Get(i);
-    std::uint64_t key =
-        static_cast<std::uint64_t>(color(e.u)) * c + color(e.v);
-    inc.Set(2 * i, IncidenceRec{key, e.u, 0});
-    inc.Set(2 * i + 1, IncidenceRec{key, e.v, 0});
+  {
+    em::Scanner<graph::Edge> in(edges);
+    em::Writer<IncidenceRec> out_w(inc);
+    while (in.HasNext()) {
+      graph::Edge e = in.Next();
+      std::uint64_t key =
+          static_cast<std::uint64_t>(color(e.u)) * c + color(e.v);
+      out_w.Push(IncidenceRec{key, e.u, 0});
+      out_w.Push(IncidenceRec{key, e.v, 0});
+    }
   }
   extsort::ExternalMergeSort(ctx, inc,
                              [](const IncidenceRec& a, const IncidenceRec& b) {
@@ -75,10 +77,11 @@ ColoringStats ComputeColoringStats(em::Context& ctx, em::Array<graph::Edge> edge
                                       std::tie(b.class_key, b.v);
                              });
   {
-    IncidenceRec cur = inc.Get(0);
+    em::Scanner<IncidenceRec> in(inc);
+    IncidenceRec cur = in.Next();
     std::uint64_t cnt = 1;
-    for (std::size_t i = 1; i < 2 * m; ++i) {
-      IncidenceRec r = inc.Get(i);
+    while (in.HasNext()) {
+      IncidenceRec r = in.Next();
       if (r.class_key == cur.class_key && r.v == cur.v) {
         ++cnt;
       } else {

@@ -77,19 +77,24 @@ void WedgeJoinEnumerate(em::Context& ctx, em::Array<EdgeT> edges, Sorter sorter,
 
   // --- Local degrees ---------------------------------------------------------
   em::Array<VertexId> ends = ctx.Alloc<VertexId>(2 * m);
-  for (std::size_t i = 0; i < m; ++i) {
-    EdgeT e = edges.Get(i);
-    ends.Set(2 * i, Access::U(e));
-    ends.Set(2 * i + 1, Access::V(e));
+  {
+    em::Scanner<EdgeT> es(edges);
+    em::Writer<VertexId> ew(ends);
+    while (es.HasNext()) {
+      EdgeT e = es.Next();
+      ew.Push(Access::U(e));
+      ew.Push(Access::V(e));
+    }
   }
   sorter(ctx, ends, [](VertexId a, VertexId b) { return a < b; });
   em::Array<LocalDeg> degs = ctx.Alloc<LocalDeg>(2 * m);
   em::Writer<LocalDeg> dw(degs);
   {
-    VertexId cur = ends.Get(0);
+    em::Scanner<VertexId> es(ends);
+    VertexId cur = es.Next();
     std::uint32_t cnt = 1;
-    for (std::size_t i = 1; i < 2 * m; ++i) {
-      VertexId x = ends.Get(i);
+    while (es.HasNext()) {
+      VertexId x = es.Next();
       if (x == cur) {
         ++cnt;
       } else {
@@ -105,40 +110,48 @@ void WedgeJoinEnumerate(em::Context& ctx, em::Array<EdgeT> edges, Sorter sorter,
   // --- Attach degrees (merge on u, then on v) --------------------------------
   em::Array<WedgeDegEdge> de = ctx.Alloc<WedgeDegEdge>(m);
   {
+    em::Scanner<EdgeT> es(edges);
+    em::Writer<WedgeDegEdge> dew(de);
     em::Scanner<LocalDeg> ds(dv);
     LocalDeg cur = ds.Next();
-    for (std::size_t i = 0; i < m; ++i) {
-      EdgeT e = edges.Get(i);
+    while (es.HasNext()) {
+      EdgeT e = es.Next();
       while (cur.v < Access::U(e) && ds.HasNext()) cur = ds.Next();
       TRIENUM_CHECK(cur.v == Access::U(e));
-      de.Set(i, WedgeDegEdge{Access::U(e), Access::V(e), cur.deg, 0, Access::CU(e),
-                             Access::CV(e)});
+      dew.Push(WedgeDegEdge{Access::U(e), Access::V(e), cur.deg, 0, Access::CU(e),
+                            Access::CV(e)});
     }
   }
   sorter(ctx, de, [](const WedgeDegEdge& a, const WedgeDegEdge& b) {
     return std::tie(a.v, a.u) < std::tie(b.v, b.u);
   });
   {
+    em::Scanner<WedgeDegEdge> des(de);
+    em::Writer<WedgeDegEdge> dew(de);  // in place: writes trail reads
     em::Scanner<LocalDeg> ds(dv);
     LocalDeg cur = ds.Next();
-    for (std::size_t i = 0; i < m; ++i) {
-      WedgeDegEdge e = de.Get(i);
+    while (des.HasNext()) {
+      WedgeDegEdge e = des.Next();
       while (cur.v < e.v && ds.HasNext()) cur = ds.Next();
       TRIENUM_CHECK(cur.v == e.v);
       e.dv = cur.deg;
-      de.Set(i, e);
+      dew.Push(e);
     }
   }
 
   // --- Orient by (degree, id) and group by source ----------------------------
   em::Array<WedgeOriented> ow = ctx.Alloc<WedgeOriented>(m);
-  for (std::size_t i = 0; i < m; ++i) {
-    WedgeDegEdge e = de.Get(i);
-    bool u_first = std::tie(e.du, e.u) < std::tie(e.dv, e.v);
-    if (u_first) {
-      ow.Set(i, WedgeOriented{e.u, e.v, e.cu, e.cv});
-    } else {
-      ow.Set(i, WedgeOriented{e.v, e.u, e.cv, e.cu});
+  {
+    em::Scanner<WedgeDegEdge> des(de);
+    em::Writer<WedgeOriented> oww(ow);
+    while (des.HasNext()) {
+      WedgeDegEdge e = des.Next();
+      bool u_first = std::tie(e.du, e.u) < std::tie(e.dv, e.v);
+      if (u_first) {
+        oww.Push(WedgeOriented{e.u, e.v, e.cu, e.cv});
+      } else {
+        oww.Push(WedgeOriented{e.v, e.u, e.cv, e.cu});
+      }
     }
   }
   sorter(ctx, ow, [](const WedgeOriented& a, const WedgeOriented& b) {
@@ -170,8 +183,15 @@ void WedgeJoinEnumerate(em::Context& ctx, em::Array<EdgeT> edges, Sorter sorter,
       while (j < m && ow.Get(j).s == s) ++j;
       for (std::size_t p = i; p < j; ++p) {
         WedgeOriented ep = ow.Get(p);
-        for (std::size_t q = p + 1; q < j; ++q) {
-          WedgeOriented eq = ow.Get(q);
+        // The quadratic wedge pass re-scans the group suffix per p; a
+        // buffered Scanner turns those re-reads into host-buffer hits (tiny
+        // suffixes go element-wise — identical charges, no buffer alloc).
+        em::Scanner<WedgeOriented> gsuf(ow, p + 1, j,
+                                        j - p - 1 >= 32
+                                            ? em::DefaultScanMode()
+                                            : em::ScanMode::kElementwise);
+        while (gsuf.HasNext()) {
+          WedgeOriented eq = gsuf.Next();
           ctx.AddWork(1);
           WedgeQuery rec;
           rec.s = s;
@@ -187,6 +207,7 @@ void WedgeJoinEnumerate(em::Context& ctx, em::Array<EdgeT> edges, Sorter sorter,
       i = j;
     }
   }
+  qw.Flush();  // the sorter below reads `queries` while qw is still alive
 
   // --- Sort queries and merge-join against the edge list ---------------------
   sorter(ctx, queries, [](const WedgeQuery& a, const WedgeQuery& b) {
@@ -194,13 +215,14 @@ void WedgeJoinEnumerate(em::Context& ctx, em::Array<EdgeT> edges, Sorter sorter,
   });
   {
     em::Scanner<WedgeQuery> qs(queries);
-    for (std::size_t i = 0; i < m && qs.HasNext(); ++i) {
-      EdgeT e = edges.Get(i);
+    em::Scanner<EdgeT> es(edges);
+    while (es.HasNext() && qs.HasNext()) {
+      EdgeT e = es.Next();
       VertexId eu = Access::U(e), ev = Access::V(e);
       while (qs.HasNext()) {
         WedgeQuery q = qs.Peek();
         if (std::tie(q.a, q.b) < std::tie(eu, ev)) {
-          qs.Skip();
+          qs.Next();
           continue;
         }
         break;
@@ -208,7 +230,7 @@ void WedgeJoinEnumerate(em::Context& ctx, em::Array<EdgeT> edges, Sorter sorter,
       while (qs.HasNext()) {
         WedgeQuery q = qs.Peek();
         if (q.a != eu || q.b != ev) break;
-        qs.Skip();
+        qs.Next();
         auto [tri, c0, c1, c2] =
             OrderColoredTriple(q.s, q.cs, q.a, q.ca, q.b, q.cb);
         ctx.AddWork(1);

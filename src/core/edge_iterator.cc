@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "em/array.h"
+#include "extsort/scan_ops.h"
 
 namespace trienum::core {
 
@@ -19,11 +20,13 @@ void EnumerateEdgeIterator(em::Context& ctx, const graph::EmGraph& g,
   em::Array<std::uint64_t> offsets = ctx.Alloc<std::uint64_t>(nv + 1);
   {
     em::Array<std::uint32_t> outdeg = ctx.Alloc<std::uint32_t>(nv);
-    for (VertexId v = 0; v < nv; ++v) outdeg.Set(v, 0);
-    for (std::size_t i = 0; i < m; ++i) {
-      graph::Edge e = g.edges.Get(i);
-      outdeg.Set(e.u, outdeg.Get(e.u) + 1);
+    {
+      em::Writer<std::uint32_t> zero(outdeg);
+      for (VertexId v = 0; v < nv; ++v) zero.Push(0);
     }
+    extsort::ForEach(g.edges, [&](const graph::Edge& e) {
+      outdeg.Set(e.u, outdeg.Get(e.u) + 1);
+    });
     std::uint64_t run = 0;
     for (VertexId v = 0; v < nv; ++v) {
       offsets.Set(v, run);
@@ -32,7 +35,7 @@ void EnumerateEdgeIterator(em::Context& ctx, const graph::EmGraph& g,
     offsets.Set(nv, run);
   }
   em::Array<VertexId> nbr = ctx.Alloc<VertexId>(m);
-  for (std::size_t i = 0; i < m; ++i) nbr.Set(i, g.edges.Get(i).v);
+  extsort::Transform(g.edges, nbr, [](const graph::Edge& e) { return e.v; });
 
   // For each edge (u, v): intersect N+(u) beyond v with N+(v).
   for (VertexId u = 0; u < nv; ++u) {

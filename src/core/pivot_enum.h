@@ -19,8 +19,6 @@
 #define TRIENUM_CORE_PIVOT_ENUM_H_
 
 #include <algorithm>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "core/sink.h"
@@ -28,6 +26,55 @@
 #include "graph/types.h"
 
 namespace trienum::core {
+namespace internal {
+
+/// Minimal open-addressed map VertexId -> u32 payload (linear probing,
+/// power-of-two capacity). The pivot chunk's adjacency index is rebuilt and
+/// probed millions of times per run; a flat table beats both
+/// std::unordered_map (per-node mallocs, bucket chasing) and binary search
+/// (log-n mispredicted branches) on this hot path. Host-side only: no effect
+/// on I/O accounting.
+class FlatVertexMap {
+ public:
+  static constexpr std::uint32_t kEmpty = 0xFFFFFFFFu;
+
+  void Reset(std::size_t expected) {
+    std::size_t cap = 16;
+    while (cap < 2 * expected) cap <<= 1;
+    keys_.assign(cap, 0);
+    vals_.assign(cap, kEmpty);
+    mask_ = static_cast<std::uint32_t>(cap - 1);
+  }
+
+  /// Inserts or overwrites.
+  void Put(graph::VertexId key, std::uint32_t val) {
+    std::uint32_t i = Hash(key);
+    while (vals_[i] != kEmpty && keys_[i] != key) i = (i + 1) & mask_;
+    keys_[i] = key;
+    vals_[i] = val;
+  }
+
+  /// Payload for `key`, or kEmpty.
+  std::uint32_t Get(graph::VertexId key) const {
+    std::uint32_t i = Hash(key);
+    while (vals_[i] != kEmpty) {
+      if (keys_[i] == key) return vals_[i];
+      i = (i + 1) & mask_;
+    }
+    return kEmpty;
+  }
+
+ private:
+  std::uint32_t Hash(graph::VertexId key) const {
+    return (static_cast<std::uint32_t>(key) * 0x9E3779B1u) & mask_;
+  }
+
+  std::vector<graph::VertexId> keys_;
+  std::vector<std::uint32_t> vals_;
+  std::uint32_t mask_ = 0;
+};
+
+}  // namespace internal
 
 struct PivotEnumOptions {
   /// Fraction alpha of internal memory used for the resident pivot chunk.
@@ -53,6 +100,11 @@ void PivotEnumerate(em::Context& ctx, em::Array<EdgeT> cone_a,
   std::size_t chunk_items = static_cast<std::size_t>(
       static_cast<double>(ctx.memory_words()) * opts.chunk_fraction /
       static_cast<double>(words_per));
+  // The resident structures cost ~(words_per + 6) words per chunk record
+  // (chunk + adjacency index + endpoint filter + per-v buffers), so cap the
+  // chunk to keep the scratch lease within M even for aggressive alpha.
+  chunk_items =
+      std::min(chunk_items, ctx.memory_words() / (words_per + 6));
   chunk_items = std::max<std::size_t>(chunk_items, 1);
 
   for (std::size_t p0 = 0; p0 < pivot.size(); p0 += chunk_items) {
@@ -65,27 +117,49 @@ void PivotEnumerate(em::Context& ctx, em::Array<EdgeT> cone_a,
 
     std::vector<EdgeT> chunk(csize);
     pivot.ReadTo(p0, p1, chunk.data());
-    std::sort(chunk.begin(), chunk.end(), graph::LexLess{});
+    // Every caller passes lex-sorted pivot edges (whole edge list or color
+    // buckets cut from one), so the chunk is almost always already sorted —
+    // verify in one sweep and skip the sort.
+    if (!std::is_sorted(chunk.begin(), chunk.end(), graph::LexLess{})) {
+      std::sort(chunk.begin(), chunk.end(), graph::LexLess{});
+    }
     ctx.AddWork(csize * 2);
 
-    // Adjacency over the resident pivot edges, keyed by smaller endpoint.
-    std::unordered_map<VertexId, std::pair<std::uint32_t, std::uint32_t>> adj;
-    std::unordered_set<VertexId> pivot_max_side;
-    adj.reserve(csize);
-    pivot_max_side.reserve(csize);
+    // Adjacency over the resident pivot edges, keyed by smaller endpoint:
+    // the sorted chunk itself is the index. `ranges` lists each distinct u's
+    // [first, last) run; two flat open-addressed tables answer the per-cone-
+    // edge membership probes in O(1) without malloc churn.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> ranges;
+    internal::FlatVertexMap adj;        // u -> index into `ranges`
+    internal::FlatVertexMap max_side;   // v -> 0 (membership only)
+    ranges.reserve(csize);
+    adj.Reset(csize);
+    max_side.Reset(csize);
     for (std::size_t i = 0; i < csize; ++i) {
       VertexId u = Access::U(chunk[i]);
-      auto [it, fresh] = adj.try_emplace(u, i, i + 1);
-      if (!fresh) it->second.second = static_cast<std::uint32_t>(i + 1);
-      pivot_max_side.insert(Access::V(chunk[i]));
+      if (ranges.empty() ||
+          Access::U(chunk[i - 1]) != u) {  // chunk sorted: runs are contiguous
+        adj.Put(u, static_cast<std::uint32_t>(ranges.size()));
+        ranges.emplace_back(static_cast<std::uint32_t>(i),
+                            static_cast<std::uint32_t>(i + 1));
+      } else {
+        ranges.back().second = static_cast<std::uint32_t>(i + 1);
+      }
+      max_side.Put(Access::V(chunk[i]), 0);
     }
+    auto find_head = [&](VertexId u) {
+      std::uint32_t r = adj.Get(u);
+      return r == internal::FlatVertexMap::kEmpty ? nullptr : &ranges[r];
+    };
+    auto in_max_side = [&](VertexId v) {
+      return max_side.Get(v) != internal::FlatVertexMap::kEmpty;
+    };
 
     // One pass over the cone stream(s), grouped by cone vertex v.
     em::Scanner<EdgeT> sa(cone_a);
     em::Scanner<EdgeT> sb;
     if (!same_cone) sb = em::Scanner<EdgeT>(cone_b);
     std::vector<VertexId> g2, g3;  // Gamma_v split by role (u-side / w-side)
-    std::unordered_set<VertexId> g3_set;
 
     while (sa.HasNext() || (!same_cone && sb.HasNext())) {
       VertexId v;
@@ -102,28 +176,32 @@ void PivotEnumerate(em::Context& ctx, em::Array<EdgeT> cone_a,
         EdgeT e = sa.Next();
         VertexId nbr = Access::V(e);
         ctx.AddWork(1);
-        if (adj.count(nbr) != 0) g2.push_back(nbr);
-        if (same_cone && pivot_max_side.count(nbr) != 0) g3.push_back(nbr);
+        if (find_head(nbr) != nullptr) g2.push_back(nbr);
+        if (same_cone && in_max_side(nbr)) g3.push_back(nbr);
       }
       if (!same_cone) {
         while (sb.HasNext() && Access::U(sb.Peek()) == v) {
           EdgeT e = sb.Next();
           VertexId nbr = Access::V(e);
           ctx.AddWork(1);
-          if (pivot_max_side.count(nbr) != 0) g3.push_back(nbr);
+          if (in_max_side(nbr)) g3.push_back(nbr);
         }
       }
       if (g2.empty() || g3.empty()) continue;
 
-      g3_set.clear();
-      g3_set.insert(g3.begin(), g3.end());
+      // The lex-sort precondition makes neighbours within a group arrive
+      // v-ascending, so g3 is already sorted for the binary searches below;
+      // verify in one sweep (and repair) rather than trust the caller.
+      if (!std::is_sorted(g3.begin(), g3.end())) {
+        std::sort(g3.begin(), g3.end());
+      }
       for (VertexId u : g2) {
-        auto it = adj.find(u);
-        if (it == adj.end()) continue;
-        for (std::uint32_t i = it->second.first; i < it->second.second; ++i) {
+        const auto* range = find_head(u);
+        if (range == nullptr) continue;
+        for (std::uint32_t i = range->first; i < range->second; ++i) {
           VertexId w = Access::V(chunk[i]);
           ctx.AddWork(1);
-          if (g3_set.count(w) != 0) {
+          if (std::binary_search(g3.begin(), g3.end(), w)) {
             sink.Emit(v, u, w);
           }
         }

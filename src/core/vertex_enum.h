@@ -44,14 +44,17 @@ void EnumerateTrianglesContaining(em::Context& ctx, em::Array<EdgeT> edges,
   em::Array<NeighborRec> gamma = ctx.Alloc<NeighborRec>(edges.size());
   em::Writer<NeighborRec> gw(gamma);
   std::uint32_t x_color = 0;
-  for (std::size_t i = 0; i < edges.size(); ++i) {
-    EdgeT e = edges.Get(i);
-    if (Access::U(e) == x) {
-      gw.Push(NeighborRec{Access::V(e), Access::CV(e)});
-      x_color = Access::CU(e);
-    } else if (Access::V(e) == x) {
-      gw.Push(NeighborRec{Access::U(e), Access::CU(e)});
-      x_color = Access::CV(e);
+  {
+    em::Scanner<EdgeT> es(edges);
+    while (es.HasNext()) {
+      EdgeT e = es.Next();
+      if (Access::U(e) == x) {
+        gw.Push(NeighborRec{Access::V(e), Access::CV(e)});
+        x_color = Access::CU(e);
+      } else if (Access::V(e) == x) {
+        gw.Push(NeighborRec{Access::U(e), Access::CU(e)});
+        x_color = Access::CV(e);
+      }
     }
   }
   em::Array<NeighborRec> g = gw.Written();
@@ -65,10 +68,11 @@ void EnumerateTrianglesContaining(em::Context& ctx, em::Array<EdgeT> edges,
   em::Array<EdgeT> ex = ctx.Alloc<EdgeT>(edges.size());
   em::Writer<EdgeT> exw(ex);
   {
+    em::Scanner<EdgeT> es(edges);
     em::Scanner<NeighborRec> gs(g);
     NeighborRec cur = gs.Next();
-    for (std::size_t i = 0; i < edges.size(); ++i) {
-      EdgeT e = edges.Get(i);
+    while (es.HasNext()) {
+      EdgeT e = es.Next();
       while (cur.v < Access::U(e) && gs.HasNext()) cur = gs.Next();
       if (cur.v == Access::U(e)) exw.Push(e);
     }
@@ -80,10 +84,11 @@ void EnumerateTrianglesContaining(em::Context& ctx, em::Array<EdgeT> edges,
   // (re-sort by larger endpoint, merge on v).
   sorter(ctx, exv, graph::ByMaxLess{});
   {
+    em::Scanner<EdgeT> es(exv);
     em::Scanner<NeighborRec> gs(g);
     NeighborRec cur = gs.Next();
-    for (std::size_t i = 0; i < exv.size(); ++i) {
-      EdgeT e = exv.Get(i);
+    while (es.HasNext()) {
+      EdgeT e = es.Next();
       while (cur.v < Access::V(e) && gs.HasNext()) cur = gs.Next();
       if (cur.v == Access::V(e)) {
         on_edge(Access::U(e), Access::V(e), Access::CU(e), Access::CV(e), x_color);

@@ -1,5 +1,18 @@
 // Typed views over device storage with I/O-accounted element access, plus
 // streaming Scanner/Writer helpers used throughout the algorithms.
+//
+// Scanner and Writer are *block-buffered*: they move one B-word-aligned cache
+// line per refill/flush (a single Context::ReadScan/WriteScan call) instead
+// of one transfer per record, while charging the touch sequence the
+// record-by-record path would — coalesced per line. IoStats come out
+// bit-for-bit identical whenever every active stream's current line stays
+// resident between consecutive records (one line per stream — true for the
+// library's scans, filters and bounded-fan-in merges); under capacity
+// pressure the coalescing coarsens LRU recency, so whole-algorithm totals
+// agree only within a small band (see tests/test_hotpath.cc for both
+// contracts). The element-wise path is kept selectable
+// (ScanMode::kElementwise) as the reference implementation for differential
+// tests and benchmarks.
 #ifndef TRIENUM_EM_ARRAY_H_
 #define TRIENUM_EM_ARRAY_H_
 
@@ -12,6 +25,40 @@
 
 namespace trienum::em {
 
+/// How Scanner/Writer move data: block-buffered (default, the fast path) or
+/// record-by-record (the reference accounting path, kept for differential
+/// testing and as the before-side of benchmarks).
+enum class ScanMode { kBuffered, kElementwise };
+
+namespace internal {
+inline ScanMode& DefaultScanModeStorage() {
+  static ScanMode mode = ScanMode::kBuffered;
+  return mode;
+}
+}  // namespace internal
+
+/// Process-wide default mode for newly constructed Scanner/Writer. The
+/// differential suite and benches flip this to run whole algorithms down
+/// either path; IoStats must not change (asserted by tests/test_hotpath.cc).
+inline ScanMode DefaultScanMode() { return internal::DefaultScanModeStorage(); }
+inline void SetDefaultScanMode(ScanMode m) {
+  internal::DefaultScanModeStorage() = m;
+}
+
+/// RAII scope flipping the default scan mode (used by tests/benches).
+class ScopedScanMode {
+ public:
+  explicit ScopedScanMode(ScanMode m) : saved_(DefaultScanMode()) {
+    SetDefaultScanMode(m);
+  }
+  ~ScopedScanMode() { SetDefaultScanMode(saved_); }
+  ScopedScanMode(const ScopedScanMode&) = delete;
+  ScopedScanMode& operator=(const ScopedScanMode&) = delete;
+
+ private:
+  ScanMode saved_;
+};
+
 /// \brief A fixed-size array of trivially-copyable records on the device.
 ///
 /// Every element access touches the covering cache lines, so reading or
@@ -19,9 +66,10 @@ namespace trienum::em {
 /// padded to whole words; an Edge (two 32-bit ids) is one word, matching the
 /// paper's "an edge requires one memory word" accounting.
 ///
-/// All data moves through Context::ReadWords/WriteWords, so an Array works
-/// identically — same values, same IoStats — over the in-memory and the
-/// file-backed storage backend (see em/storage.h).
+/// All data moves through Context::ReadWords/WriteWords (or their scan-exact
+/// bulk duals ReadScan/WriteScan), so an Array works identically — same
+/// values, same IoStats — over the in-memory and the file-backed storage
+/// backend (see em/storage.h).
 template <typename T>
 class Array {
   static_assert(std::is_trivially_copyable_v<T>,
@@ -65,6 +113,39 @@ class Array {
     ctx_->WriteWords(base_ + i * kWordsPer, kWordsPer, tmp);
   }
 
+  /// Charges the touch of element `i` without moving data — what a
+  /// Get would cost. The buffered Scanner uses this to keep Peek's
+  /// accounting identical to the element-wise path.
+  void TouchGet(std::size_t i) const {
+    TRIENUM_CHECK(i < n_);
+    ctx_->TouchRange(base_ + i * kWordsPer, kWordsPer, /*write=*/false);
+  }
+
+  /// Charges the touch of element `i` as a write — what a Set would cost.
+  void TouchSet(std::size_t i) const {
+    TRIENUM_CHECK(i < n_);
+    ctx_->TouchRange(base_ + i * kWordsPer, kWordsPer, /*write=*/true);
+  }
+
+  /// Memory-backend zero-copy view of the records: a typed pointer into the
+  /// direct view (records start word-aligned, so the cast is valid), or
+  /// nullptr when the device stages real data. Accesses through it move no
+  /// accounted data — callers charge TouchGet/TouchSet at exactly the points
+  /// a Get/Set would occur, which keeps IoStats identical across backends
+  /// (asserted by the storage differential matrix). Invalidated by Alloc.
+  T* MemRef() const {
+    // Only packed records line up with a T[] view; padded ones would stride
+    // wrong. Over-aligned types can't alias the word store either.
+    if constexpr (!kPacked || alignof(T) > alignof(Word)) {
+      return nullptr;
+    } else {
+      Word* p = ctx_->DirectData(base_);
+      return p == nullptr ? nullptr : reinterpret_cast<T*>(p);
+    }
+  }
+  /// Record stride, in Words, of the MemRef view (== 1 record when packed).
+  static constexpr std::size_t kStrideWords = kWordsPer;
+
   /// Subrange view [off, off+len).
   Array Slice(std::size_t off, std::size_t len) const {
     TRIENUM_CHECK(off + len <= n_);
@@ -83,11 +164,7 @@ class Array {
     } else {
       std::vector<Word> tmp(words);
       ctx_->ReadWords(a, words, tmp.data());
-      for (std::size_t i = begin; i < end; ++i) {
-        std::memcpy(static_cast<void*>(out + (i - begin)),
-                    static_cast<const void*>(tmp.data() + (i - begin) * kWordsPer),
-                    sizeof(T));
-      }
+      UnpackRecords(tmp.data(), end - begin, out);
     }
   }
 
@@ -101,15 +178,66 @@ class Array {
       ctx_->WriteWords(a, words, static_cast<const void*>(in));
     } else {
       std::vector<Word> tmp(words, 0);
-      for (std::size_t i = begin; i < end; ++i) {
-        std::memcpy(static_cast<void*>(tmp.data() + (i - begin) * kWordsPer),
-                    static_cast<const void*>(in + (i - begin)), sizeof(T));
-      }
+      PackRecords(in, end - begin, tmp.data());
       ctx_->WriteWords(a, words, tmp.data());
     }
   }
 
+  /// Scan-exact bulk read of [begin, end): one transfer, charged exactly
+  /// like per-record Get calls (the buffered Scanner's refill).
+  void ReadScanInto(std::size_t begin, std::size_t end, T* out) const {
+    TRIENUM_CHECK(begin <= end && end <= n_);
+    if (begin == end) return;
+    Addr a = base_ + begin * kWordsPer;
+    std::size_t words = (end - begin) * kWordsPer;
+    if constexpr (kPacked) {
+      ctx_->ReadScan(a, words, kWordsPer, static_cast<void*>(out));
+    } else {
+      std::vector<Word> tmp(words);
+      ctx_->ReadScan(a, words, kWordsPer, tmp.data());
+      UnpackRecords(tmp.data(), end - begin, out);
+    }
+  }
+
+  /// Charges a forward scan of [begin, end) like per-record Gets, moving no
+  /// data (for re-passes over records a caller already holds host-side).
+  void TouchScanRange(std::size_t begin, std::size_t end) const {
+    TRIENUM_CHECK(begin <= end && end <= n_);
+    if (begin == end) return;
+    ctx_->TouchScan(base_ + begin * kWordsPer, (end - begin) * kWordsPer,
+                    kWordsPer);
+  }
+
+  /// Scan-exact bulk write into [begin, end): one transfer, charged exactly
+  /// like per-record Set calls (the buffered Writer's flush).
+  void WriteScanFrom(std::size_t begin, std::size_t end, const T* in) {
+    TRIENUM_CHECK(begin <= end && end <= n_);
+    if (begin == end) return;
+    Addr a = base_ + begin * kWordsPer;
+    std::size_t words = (end - begin) * kWordsPer;
+    if constexpr (kPacked) {
+      ctx_->WriteScan(a, words, kWordsPer, static_cast<const void*>(in));
+    } else {
+      std::vector<Word> tmp(words, 0);
+      PackRecords(in, end - begin, tmp.data());
+      ctx_->WriteScan(a, words, kWordsPer, tmp.data());
+    }
+  }
+
  private:
+  static void UnpackRecords(const Word* words, std::size_t n, T* out) {
+    for (std::size_t i = 0; i < n; ++i) {
+      std::memcpy(static_cast<void*>(out + i),
+                  static_cast<const void*>(words + i * kWordsPer), sizeof(T));
+    }
+  }
+  static void PackRecords(const T* in, std::size_t n, Word* words) {
+    for (std::size_t i = 0; i < n; ++i) {
+      std::memcpy(static_cast<void*>(words + i * kWordsPer),
+                  static_cast<const void*>(in + i), sizeof(T));
+    }
+  }
+
   Context* ctx_ = nullptr;
   Addr base_ = 0;
   std::size_t n_ = 0;
@@ -122,54 +250,174 @@ Array<T> Context::Alloc(std::size_t n) {
 }
 
 /// \brief Forward sequential reader over an Array (one scan = n/B reads).
+///
+/// Buffered mode refills one cache line at a time: the refill issues a
+/// single ReadScan charging exactly what record-by-record Gets would (the
+/// skipped-ahead records are charged as the cache hits they would have
+/// been), then Next/Peek serve from the host buffer. Peek additionally
+/// charges one touch per call, mirroring the element-wise path where every
+/// Peek is a Get. Skip never touches (a seek is free in the EM model); note
+/// that records already buffered were charged at refill, so a Skip inside a
+/// buffered line does not un-charge them.
 template <typename T>
 class Scanner {
  public:
   Scanner() = default;
-  explicit Scanner(Array<T> a) : a_(a) {}
-  Scanner(Array<T> a, std::size_t begin, std::size_t end)
-      : a_(a.Slice(begin, end - begin)) {}
+  explicit Scanner(Array<T> a, ScanMode mode = DefaultScanMode())
+      : a_(a), mode_(mode) {}
+  Scanner(Array<T> a, std::size_t begin, std::size_t end,
+          ScanMode mode = DefaultScanMode())
+      : a_(a.Slice(begin, end - begin)), mode_(mode) {}
 
   bool HasNext() const { return pos_ < a_.size(); }
   std::size_t position() const { return pos_; }
   std::size_t remaining() const { return a_.size() - pos_; }
 
-  /// Reads the current element without advancing.
-  T Peek() const { return a_.Get(pos_); }
+  /// Reads the current element without advancing (charges one touch, like
+  /// the element-wise Get it replaces).
+  T Peek() {
+    if (mode_ == ScanMode::kElementwise) return a_.Get(pos_);
+    if (pos_ < buf_lo_ || pos_ >= buf_hi_) Refill();
+    a_.TouchGet(pos_);
+    return buf_[pos_ - buf_lo_];
+  }
 
   /// Reads and advances.
-  T Next() { return a_.Get(pos_++); }
+  T Next() {
+    if (mode_ == ScanMode::kElementwise) return a_.Get(pos_++);
+    if (pos_ < buf_lo_ || pos_ >= buf_hi_) Refill();
+    return buf_[pos_++ - buf_lo_];
+  }
 
   void Skip() { ++pos_; }
 
  private:
+  void Refill() {
+    const std::size_t n = a_.size();
+    TRIENUM_CHECK(pos_ < n);
+    constexpr std::size_t w = Array<T>::kWordsPer;
+    const std::size_t b = a_.context()->block_words();
+    const Addr a0 = a_.AddrOf(pos_);
+    // End of the last line touched by the current record; buffer every
+    // record that finishes within it (at least the current one).
+    const Addr line_end = ((a0 + w - 1) / b + 1) * b;
+    std::size_t j = static_cast<std::size_t>((line_end - a_.base()) / w);
+    if (j <= pos_) j = pos_ + 1;
+    if (j > n) j = n;
+    // Grow-only buffer: ReadScanInto overwrites [0, j - pos_), so no
+    // per-refill value-initialization is needed.
+    if (buf_.size() < j - pos_) buf_.resize(j - pos_);
+    a_.ReadScanInto(pos_, j, buf_.data());
+    buf_lo_ = pos_;
+    buf_hi_ = j;
+  }
+
   Array<T> a_;
   std::size_t pos_ = 0;
+  std::size_t buf_lo_ = 0;
+  std::size_t buf_hi_ = 0;  // buffered records: [buf_lo_, buf_hi_)
+  std::vector<T> buf_;
+  ScanMode mode_ = ScanMode::kBuffered;
 };
 
 /// \brief Forward sequential writer into a pre-allocated Array.
+///
+/// Buffered mode accumulates records host-side and flushes one cache line
+/// per WriteScan, charged exactly like the record-by-record Sets it
+/// replaces. The buffered data becomes visible to *other* readers of the
+/// target array only at Flush; Written() flushes, and the destructor is a
+/// safety net — code that reads the target array directly while the Writer
+/// is still alive must call Flush() first.
 template <typename T>
 class Writer {
  public:
   Writer() = default;
-  explicit Writer(Array<T> a) : a_(a) {}
+  explicit Writer(Array<T> a, ScanMode mode = DefaultScanMode())
+      : a_(a), mode_(mode) {}
+  ~Writer() { Flush(); }
+  Writer(Writer&& o) noexcept
+      : a_(o.a_), pos_(o.pos_), flush_lo_(o.flush_lo_), flush_at_(o.flush_at_),
+        buf_(std::move(o.buf_)), mode_(o.mode_) {
+    o.buf_.clear();
+    o.a_ = Array<T>();
+  }
+  Writer& operator=(Writer&& o) noexcept {
+    if (this != &o) {
+      Flush();
+      a_ = o.a_;
+      pos_ = o.pos_;
+      flush_lo_ = o.flush_lo_;
+      flush_at_ = o.flush_at_;
+      buf_ = std::move(o.buf_);
+      mode_ = o.mode_;
+      o.buf_.clear();
+      o.a_ = Array<T>();
+    }
+    return *this;
+  }
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
 
-  void Push(const T& v) { a_.Set(pos_++, v); }
+  void Push(const T& v) {
+    if (mode_ == ScanMode::kElementwise) {
+      a_.Set(pos_++, v);
+      return;
+    }
+    TRIENUM_CHECK(pos_ < a_.size());
+    if (buf_.empty()) {
+      // Flush once the pending run reaches the end of the line its first
+      // record starts in (one WriteScan per line on a long stream).
+      constexpr std::size_t w = Array<T>::kWordsPer;
+      const std::size_t b = a_.context()->block_words();
+      const Addr line_end = (a_.AddrOf(pos_) / b + 1) * b;
+      flush_at_ = static_cast<std::size_t>((line_end - a_.base() + w - 1) / w);
+    }
+    buf_.push_back(v);
+    if (++pos_ >= flush_at_) Flush();
+  }
+
   std::size_t count() const { return pos_; }
 
-  /// View of everything written so far.
-  Array<T> Written() const { return a_.Slice(0, pos_); }
+  /// Writes out any buffered records (no-op in element-wise mode).
+  void Flush() {
+    if (buf_.empty()) return;
+    a_.WriteScanFrom(flush_lo_, flush_lo_ + buf_.size(), buf_.data());
+    flush_lo_ += buf_.size();
+    buf_.clear();
+  }
+
+  /// View of everything written so far (flushes pending records first).
+  Array<T> Written() {
+    Flush();
+    return a_.Slice(0, pos_);
+  }
 
  private:
   Array<T> a_;
   std::size_t pos_ = 0;
+  std::size_t flush_lo_ = 0;  // first record not yet flushed
+  std::size_t flush_at_ = 0;  // record index triggering the next flush
+  std::vector<T> buf_;
+  ScanMode mode_ = ScanMode::kBuffered;
 };
 
-/// Copies `src` into a fresh array allocated from `ctx` (sequential scan).
+/// Copies `src` into a fresh array allocated from `ctx`, staging chunks of
+/// at most M/4 words of host scratch (a sequential block-granular scan; the
+/// old record-at-a-time copy cost the same block I/Os but B× the touches).
 template <typename T>
 Array<T> CloneArray(Context& ctx, const Array<T>& src) {
   Array<T> dst = ctx.Alloc<T>(src.size());
-  for (std::size_t i = 0; i < src.size(); ++i) dst.Set(i, src.Get(i));
+  if (src.empty()) return dst;
+  constexpr std::size_t w = Array<T>::kWordsPer;
+  std::size_t chunk = std::max<std::size_t>(1, ctx.memory_words() / (4 * w));
+  chunk = std::min(chunk, src.size());
+  ScratchLease lease = ctx.LeaseScratch(chunk * w);
+  std::vector<T> buf(chunk);
+  for (std::size_t lo = 0; lo < src.size(); lo += chunk) {
+    const std::size_t hi = std::min(src.size(), lo + chunk);
+    src.ReadTo(lo, hi, buf.data());
+    dst.WriteFrom(lo, hi, buf.data());
+  }
   return dst;
 }
 

@@ -6,14 +6,22 @@
 namespace trienum::em {
 
 Cache::Cache(std::size_t memory_words, std::size_t block_words,
-             StorageBackend* staging)
-    : memory_words_(memory_words), block_words_(block_words), staging_(staging) {
+             StorageBackend* staging, std::size_t line_map_dense_limit)
+    : memory_words_(memory_words),
+      block_words_(block_words),
+      where_(line_map_dense_limit),
+      staging_(staging) {
   TRIENUM_CHECK(block_words_ > 0);
+  if ((block_words_ & (block_words_ - 1)) == 0) {
+    line_shift_ = 0;
+    while ((std::size_t{1} << line_shift_) < block_words_) ++line_shift_;
+  }
   num_slots_ = std::max<std::size_t>(1, memory_words_ / block_words_);
   slots_.resize(num_slots_);
   for (std::size_t i = 0; i < num_slots_; ++i) {
     slots_[i].line = -1;
     slots_[i].dirty = false;
+    slots_[i].pins = 0;
     slots_[i].next = static_cast<std::int32_t>(i) + 1;
     slots_[i].prev = -1;
   }
@@ -21,16 +29,11 @@ Cache::Cache(std::size_t memory_words, std::size_t block_words,
   free_head_ = 0;
   if (staging_ != nullptr) {
     // Resident line buffers: the only device *data* kept in RAM, so data
-    // residency is O(M). (The line-to-slot map `where_` still grows with the
-    // touched address range — one int32 per device line — which caps how far
-    // beyond RAM a device can go; see ROADMAP.)
+    // residency is O(M). The line-to-slot map is dense (one int32 per device
+    // line) only below the configured limit; past it, a hash map over the
+    // resident lines keeps host memory independent of device size.
     line_data_.resize(num_slots_ * block_words_, 0);
   }
-}
-
-std::int32_t Cache::Lookup(std::int64_t line) const {
-  if (static_cast<std::size_t>(line) >= where_.size()) return -1;
-  return where_[static_cast<std::size_t>(line)];
 }
 
 void Cache::Unlink(std::int32_t s) {
@@ -61,9 +64,10 @@ std::int32_t Cache::GrabSlot() {
     free_head_ = slots_[s].next;
     return s;
   }
-  // Evict the least-recently-used line.
+  // Evict the least-recently-used *unpinned* line.
   std::int32_t s = tail_;
-  TRIENUM_CHECK(s >= 0);
+  while (s >= 0 && slots_[s].pins > 0) s = slots_[s].prev;
+  TRIENUM_CHECK_MSG(s >= 0, "every cache line is pinned; cannot evict");
   Unlink(s);
   if (slots_[s].dirty) {
     if (staging_ != nullptr) {
@@ -72,7 +76,7 @@ std::int32_t Cache::GrabSlot() {
     }
     ++stats_.block_writes;
   }
-  where_[static_cast<std::size_t>(slots_[s].line)] = -1;
+  where_.Set(slots_[s].line, -1);
   slots_[s].line = -1;
   slots_[s].dirty = false;
   return s;
@@ -93,12 +97,7 @@ std::int32_t Cache::TouchLine(std::int64_t line, bool write, bool aligned_write,
     ++stats_.cache_hits;
   } else {
     s = GrabSlot();
-    if (static_cast<std::size_t>(line) >= where_.size()) {
-      where_.resize(std::max<std::size_t>(where_.size() * 2,
-                                          static_cast<std::size_t>(line) + 1),
-                    -1);
-    }
-    where_[static_cast<std::size_t>(line)] = s;
+    where_.Set(line, s);
     slots_[s].line = line;
     if (staging_ != nullptr && fetch) {
       // Real block fetch. Deliberately independent of the charging decision
@@ -121,16 +120,109 @@ std::int32_t Cache::TouchLine(std::int64_t line, bool write, bool aligned_write,
   return s;
 }
 
-void Cache::TouchRange(Addr addr, std::size_t words, bool write) {
-  if (!counting_ || words == 0) return;
-  std::int64_t first = static_cast<std::int64_t>(addr / block_words_);
-  std::int64_t last = static_cast<std::int64_t>((addr + words - 1) / block_words_);
+void Cache::TouchRangeSlow(Addr addr, std::int64_t first, std::int64_t last,
+                           bool write) {
   for (std::int64_t line = first; line <= last; ++line) {
-    bool aligned = write && (line > first || addr % block_words_ == 0);
+    bool aligned = write && (line > first || OffsetIn(addr) == 0);
     // Data-less touch: always fetch on a staged miss, since we cannot know
     // which words the caller will overwrite.
     TouchLine(line, write, aligned, /*fetch=*/true);
   }
+}
+
+void Cache::ScanOp(Addr addr, std::size_t words, std::size_t elem_words,
+                   ScanOpKind kind, void* out, const void* in) {
+  TRIENUM_CHECK(elem_words > 0 && words % elem_words == 0);
+  const bool write = kind == ScanOpKind::kWrite;
+  const Addr end = addr + words;
+  char* dst = static_cast<char*>(out);
+  const char* src = static_cast<const char*>(in);
+  std::int64_t first = LineOf(addr);
+  std::int64_t last = LineOf(end - 1);
+  for (std::int64_t line = first; line <= last; ++line) {
+    const Addr line_base = static_cast<Addr>(line) * block_words_;
+    const Addr lo = std::max<Addr>(addr, line_base);
+    const Addr hi = std::min<Addr>(end, line_base + block_words_);
+    const std::size_t n = static_cast<std::size_t>(hi - lo);
+    // Records overlapping this line: the one containing word `lo` through
+    // the one containing word `hi - 1`. An element-wise pass would call
+    // TouchLine once per such record; after the first, the line is MRU, so
+    // all further touches are hits — charge them as a batch.
+    const std::size_t i_lo = static_cast<std::size_t>(lo - addr) / elem_words;
+    const std::size_t i_hi = static_cast<std::size_t>(hi - 1 - addr) / elem_words;
+    const Addr first_rec_start = addr + i_lo * elem_words;
+    // First toucher's alignment, exactly as its own TouchRange would see it:
+    // a record starting at the line boundary, or one crossing in from the
+    // previous line, makes a write "aligned" (no read charged on a miss).
+    const bool aligned = write && first_rec_start <= line_base;
+    // A full-line write with data overwrites every word: skip the real
+    // fetch. Data-less charges mirror TouchRange (always fetch on a staged
+    // miss). Fetching is never part of the charging decision.
+    const bool fetch =
+        !(kind == ScanOpKind::kWrite && in != nullptr && n == block_words_);
+    std::int32_t s = TouchLine(line, write, aligned, fetch);
+    stats_.cache_hits += i_hi - i_lo;
+    if (kind == ScanOpKind::kRead) {
+      std::memcpy(dst, line_buf(s) + (lo - line_base), n * sizeof(Word));
+      dst += n * sizeof(Word);
+    } else if (kind == ScanOpKind::kWrite && src != nullptr) {
+      std::memcpy(line_buf(s) + (lo - line_base), src, n * sizeof(Word));
+      src += n * sizeof(Word);
+    }
+  }
+}
+
+void Cache::ScanRange(Addr addr, std::size_t words, std::size_t elem_words,
+                      bool write) {
+  if (!counting_ || words == 0) return;
+  ScanOp(addr, words, elem_words,
+         write ? ScanOpKind::kWrite : ScanOpKind::kCharge, nullptr, nullptr);
+}
+
+void Cache::ReadScan(Addr addr, std::size_t words, std::size_t elem_words,
+                     void* out) {
+  TRIENUM_CHECK_MSG(staging_ != nullptr, "ReadScan requires staged mode");
+  if (words == 0) return;
+  if (!counting_) {
+    ReadRange(addr, words, out);
+    return;
+  }
+  ScanOp(addr, words, elem_words, ScanOpKind::kRead, out, nullptr);
+}
+
+void Cache::WriteScan(Addr addr, std::size_t words, std::size_t elem_words,
+                      const void* in) {
+  TRIENUM_CHECK_MSG(staging_ != nullptr, "WriteScan requires staged mode");
+  if (words == 0) return;
+  if (!counting_) {
+    WriteRange(addr, words, in);
+    return;
+  }
+  ScanOp(addr, words, elem_words, ScanOpKind::kWrite, nullptr, in);
+}
+
+std::int32_t Cache::Pin(Addr addr, bool write) {
+  TRIENUM_CHECK_MSG(counting_,
+                    "Pin requires counting; uncounted phases use the "
+                    "ReadRange/WriteRange bypass");
+  std::int32_t s = TouchLine(LineOf(addr), write, /*aligned_write=*/false,
+                             /*fetch=*/true);
+  if (slots_[s].pins == 0) ++pinned_lines_;
+  ++slots_[s].pins;
+  TRIENUM_CHECK_MSG(pinned_lines_ < num_slots_ || num_slots_ == 1,
+                    "pinning would leave no evictable line");
+  return s;
+}
+
+void Cache::Unpin(std::int32_t slot) {
+  TRIENUM_CHECK(slot >= 0 && static_cast<std::size_t>(slot) < num_slots_);
+  TRIENUM_CHECK_MSG(slots_[slot].pins > 0, "Unpin of an unpinned slot");
+  if (--slots_[slot].pins == 0) --pinned_lines_;
+}
+
+bool Cache::IsPinned(Addr addr) const {
+  std::int32_t s = Lookup(LineOf(addr));
+  return s >= 0 && slots_[s].pins > 0;
 }
 
 void Cache::ReadRange(Addr addr, std::size_t words, void* out) {
@@ -138,8 +230,8 @@ void Cache::ReadRange(Addr addr, std::size_t words, void* out) {
   if (words == 0) return;
   char* dst = static_cast<char*>(out);
   const Addr end = addr + words;
-  std::int64_t first = static_cast<std::int64_t>(addr / block_words_);
-  std::int64_t last = static_cast<std::int64_t>((end - 1) / block_words_);
+  std::int64_t first = LineOf(addr);
+  std::int64_t last = LineOf(end - 1);
   if (!counting_) {
     // Uncounted bypass: no insertion, no recency update, no counters —
     // exactly like the simulator's raw pointer. Resident lines are served
@@ -184,8 +276,8 @@ void Cache::WriteRange(Addr addr, std::size_t words, const void* in) {
   if (words == 0) return;
   const char* src = static_cast<const char*>(in);
   const Addr end = addr + words;
-  std::int64_t first = static_cast<std::int64_t>(addr / block_words_);
-  std::int64_t last = static_cast<std::int64_t>((end - 1) / block_words_);
+  std::int64_t first = LineOf(addr);
+  std::int64_t last = LineOf(end - 1);
   if (!counting_) {
     // Uncounted write: one write-through of the whole range (so a clean
     // line can later be dropped without losing this data, at O(1) syscalls
@@ -222,6 +314,7 @@ void Cache::WriteRange(Addr addr, std::size_t words, const void* in) {
 }
 
 void Cache::FlushAll() {
+  TRIENUM_CHECK_MSG(pinned_lines_ == 0, "FlushAll with lines still pinned");
   for (std::int32_t s = head_; s >= 0;) {
     std::int32_t next = slots_[s].next;
     if (slots_[s].dirty) {
@@ -233,7 +326,7 @@ void Cache::FlushAll() {
       }
       if (counting_) ++stats_.block_writes;
     }
-    where_[static_cast<std::size_t>(slots_[s].line)] = -1;
+    where_.Set(slots_[s].line, -1);
     slots_[s].line = -1;
     slots_[s].dirty = false;
     slots_[s].prev = -1;
@@ -254,7 +347,7 @@ void Cache::Reset() {
 }
 
 bool Cache::IsResident(Addr addr) const {
-  return Lookup(static_cast<std::int64_t>(addr / block_words_)) >= 0;
+  return Lookup(LineOf(addr)) >= 0;
 }
 
 }  // namespace trienum::em

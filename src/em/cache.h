@@ -23,6 +23,7 @@
 #define TRIENUM_EM_CACHE_H_
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -30,6 +31,52 @@
 #include "em/storage.h"
 
 namespace trienum::em {
+
+/// \brief Line id -> slot index map: dense vector for small line ids, hash
+/// map past `dense_limit`.
+///
+/// The dense regime keeps the hot lookup a single vector load; the sparse
+/// regime bounds host memory at O(resident lines) instead of O(device lines),
+/// which is what lets a file-backed device grow to many TiB without the map
+/// alone eating device/(2B) bytes of RAM. Evicted lines are erased from the
+/// hash map, so its size never exceeds the number of cache slots.
+class LineMap {
+ public:
+  explicit LineMap(std::size_t dense_limit) : dense_limit_(dense_limit) {}
+
+  std::int32_t Get(std::int64_t line) const {
+    const std::size_t l = static_cast<std::size_t>(line);
+    if (l < dense_.size()) return dense_[l];
+    if (l < dense_limit_) return -1;  // dense regime, not grown this far yet
+    auto it = sparse_.find(l);
+    return it == sparse_.end() ? -1 : it->second;
+  }
+
+  void Set(std::int64_t line, std::int32_t slot) {
+    const std::size_t l = static_cast<std::size_t>(line);
+    if (l < dense_limit_) {
+      if (l >= dense_.size()) {
+        std::size_t grown = dense_.size() < 64 ? 64 : dense_.size() * 2;
+        if (grown < l + 1) grown = l + 1;
+        if (grown > dense_limit_) grown = dense_limit_;
+        dense_.resize(grown, -1);
+      }
+      dense_[l] = slot;
+    } else if (slot < 0) {
+      sparse_.erase(l);
+    } else {
+      sparse_[l] = slot;
+    }
+  }
+
+  std::size_t dense_limit() const { return dense_limit_; }
+  std::size_t sparse_entries() const { return sparse_.size(); }
+
+ private:
+  std::size_t dense_limit_;
+  std::vector<std::int32_t> dense_;
+  std::unordered_map<std::size_t, std::int32_t> sparse_;
+};
 
 /// \brief LRU cache of M words in B-word lines with I/O counting and an
 /// optional real (staged) data path.
@@ -42,15 +89,40 @@ class Cache {
   /// `staging` selects the mode: nullptr = counting-only (default);
   /// otherwise the cache stages real data against that backend.
   Cache(std::size_t memory_words, std::size_t block_words,
-        StorageBackend* staging = nullptr);
+        StorageBackend* staging = nullptr,
+        std::size_t line_map_dense_limit = std::size_t{1} << 22);
 
   /// Registers a touch of `words` consecutive words starting at `addr`.
   /// (In staged mode, missed lines are fetched so buffers stay coherent,
-  /// but no data is returned — prefer ReadRange/WriteRange.)
-  void TouchRange(Addr addr, std::size_t words, bool write);
+  /// but no data is returned — prefer ReadRange/WriteRange.) Inlined
+  /// streaming fast path: a repeat touch of the MRU line is a handful of
+  /// instructions — this is the dominant call on every per-record hot loop.
+  void TouchRange(Addr addr, std::size_t words, bool write) {
+    if (!counting_ || words == 0) return;
+    const std::int64_t first = LineOf(addr);
+    const std::int64_t last = LineOf(addr + words - 1);
+    if (first == last && first == last_line_ && head_ >= 0 &&
+        slots_[head_].line == first) {
+      slots_[head_].dirty |= write;
+      ++stats_.cache_hits;
+      return;
+    }
+    TouchRangeSlow(addr, first, last, write);
+  }
 
   /// Single-word convenience wrapper.
   void Touch(Addr addr, bool write) { TouchRange(addr, 1, write); }
+
+  /// Batched scan charge: registers the exact touch sequence that a forward
+  /// element-wise pass over [addr, addr+words) in records of `elem_words`
+  /// words would — one TouchLine per covered line plus one cache hit for
+  /// every further record touching that line — in O(lines) instead of
+  /// O(records) work. This is the accounting fast path under the buffered
+  /// Scanner/Writer: IoStats (reads, writes AND hits) come out bit-for-bit
+  /// identical to per-record TouchRange calls. `addr` must be the first
+  /// record's start and `words` a multiple of `elem_words`.
+  void ScanRange(Addr addr, std::size_t words, std::size_t elem_words,
+                 bool write);
 
   /// Staged-mode data path: reads/writes `words` words at `addr` through the
   /// resident line buffers, counting I/Os exactly like TouchRange. While
@@ -59,6 +131,34 @@ class Cache {
   /// uncounted raw-pointer accesses. Staged mode only.
   void ReadRange(Addr addr, std::size_t words, void* out);
   void WriteRange(Addr addr, std::size_t words, const void* in);
+
+  /// Staged-mode duals of ScanRange: move data through the line buffers
+  /// while charging exactly like an element-wise pass. A counted full-line
+  /// WriteScan skips the backend fetch entirely (every word is overwritten),
+  /// which is where the file backend's real read traffic drops to block
+  /// granularity. Uncounted calls fall back to the bypass semantics of
+  /// ReadRange/WriteRange. Staged mode only.
+  void ReadScan(Addr addr, std::size_t words, std::size_t elem_words,
+                void* out);
+  void WriteScan(Addr addr, std::size_t words, std::size_t elem_words,
+                 const void* in);
+
+  /// Pins the line containing `addr`, charging exactly like Touch(addr,
+  /// write), and returns its slot. A pinned line is never chosen for
+  /// eviction; pins nest (each Pin needs one Unpin). Requires counting to be
+  /// enabled (uncounted phases use the ReadRange/WriteRange bypass instead).
+  /// In staged mode `slot_buffer` exposes the line's B-word buffer; write
+  /// pins mark the line dirty, so the data placed in the buffer is written
+  /// back on eventual eviction or flush.
+  std::int32_t Pin(Addr addr, bool write);
+  void Unpin(std::int32_t slot);
+  /// Direct pointer to a (pinned) slot's B-word line buffer; staged only.
+  Word* slot_buffer(std::int32_t s) {
+    TRIENUM_CHECK(staging_ != nullptr);
+    return line_buf(s);
+  }
+  bool IsPinned(Addr addr) const;
+  std::size_t pinned_lines() const { return pinned_lines_; }
 
   /// True if this cache stages real data (file-backed device).
   bool staged() const { return staging_ != nullptr; }
@@ -89,34 +189,54 @@ class Cache {
   struct Slot {
     std::int32_t prev;
     std::int32_t next;
-    std::int64_t line;  // line id, or -1 if free
+    std::int64_t line;   // line id, or -1 if free
+    std::int32_t pins;   // >0 = never evicted
     bool dirty;
   };
+
+  enum class ScanOpKind { kCharge, kRead, kWrite };
 
   /// Core touch: updates LRU/counters and returns the slot now holding
   /// `line`. `fetch` controls whether a staged miss loads the block from the
   /// backend (false only when the caller overwrites the whole line).
   std::int32_t TouchLine(std::int64_t line, bool write, bool aligned_write,
                          bool fetch);
-  std::int32_t GrabSlot();           // free slot or evict LRU tail
+  void TouchRangeSlow(Addr addr, std::int64_t first, std::int64_t last,
+                      bool write);
+  /// Shared walk behind ScanRange/ReadScan/WriteScan.
+  void ScanOp(Addr addr, std::size_t words, std::size_t elem_words,
+              ScanOpKind kind, void* out, const void* in);
+  std::int32_t GrabSlot();           // free (or unpinned LRU) slot
   void MoveToFront(std::int32_t s);
   void PushFront(std::int32_t s);
   void Unlink(std::int32_t s);
-  std::int32_t Lookup(std::int64_t line) const;
+  std::int32_t Lookup(std::int64_t line) const { return where_.Get(line); }
   Word* line_buf(std::int32_t s) {
     return line_data_.data() + static_cast<std::size_t>(s) * block_words_;
+  }
+  /// Line id / in-line offset of `addr`; a shift/mask when B is a power of
+  /// two (the common case — two fewer 64-bit divisions on every touch).
+  std::int64_t LineOf(Addr a) const {
+    return static_cast<std::int64_t>(line_shift_ >= 0 ? a >> line_shift_
+                                                      : a / block_words_);
+  }
+  std::size_t OffsetIn(Addr a) const {
+    return static_cast<std::size_t>(
+        line_shift_ >= 0 ? a & (block_words_ - 1) : a % block_words_);
   }
 
   std::size_t memory_words_;
   std::size_t block_words_;
   std::size_t num_slots_;
+  int line_shift_ = -1;  // log2(block_words) when a power of two, else -1
 
   std::vector<Slot> slots_;
-  std::vector<std::int32_t> where_;  // line id -> slot or -1
+  LineMap where_;                    // line id -> slot or -1
   std::int32_t head_ = -1;           // MRU
   std::int32_t tail_ = -1;           // LRU
   std::int32_t free_head_ = -1;
   std::int64_t last_line_ = -1;      // fast path for streaming access
+  std::size_t pinned_lines_ = 0;
 
   StorageBackend* staging_ = nullptr;  // non-null = staged data mode
   std::vector<Word> line_data_;        // num_slots_ * block_words_ (staged)

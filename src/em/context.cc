@@ -5,7 +5,8 @@ namespace trienum::em {
 Context::Context(const EmConfig& cfg)
     : cfg_(cfg),
       device_(MakeStorageBackend(cfg)),
-      cache_(cfg.memory_words, cfg.block_words, device_.staging_backend()) {
+      cache_(cfg.memory_words, cfg.block_words, device_.staging_backend(),
+             cfg.line_map_dense_limit) {
   TRIENUM_CHECK_MSG(cfg.memory_words >= cfg.block_words,
                     "internal memory must hold at least one block");
 }

@@ -46,6 +46,60 @@ class ScratchLease {
   std::size_t words_ = 0;
 };
 
+/// \brief RAII pin of one cache line, giving zero-copy access to its B
+/// words.
+///
+/// While alive, the line is exempt from eviction, so `data()` stays valid:
+/// it points at the staged line buffer (file backend) or straight into the
+/// MemoryBackend's view. Obtained via Context::PinLine, which charges
+/// exactly one word touch; any further per-record charging is the caller's
+/// job (via Context::TouchRange), keeping IoStats independent of how the
+/// data is physically reached. Do not allocate device memory while holding a
+/// pin (a MemoryBackend grow may move the view).
+class PinnedLine {
+ public:
+  PinnedLine() = default;
+  PinnedLine(Cache* cache, std::int32_t slot, Word* data, Addr base,
+             std::size_t words)
+      : cache_(cache), slot_(slot), data_(data), base_(base), words_(words) {}
+  ~PinnedLine() {
+    if (cache_ != nullptr) cache_->Unpin(slot_);
+  }
+  PinnedLine(PinnedLine&& o) noexcept
+      : cache_(o.cache_), slot_(o.slot_), data_(o.data_), base_(o.base_),
+        words_(o.words_) {
+    o.cache_ = nullptr;
+  }
+  PinnedLine& operator=(PinnedLine&& o) noexcept {
+    if (this != &o) {
+      if (cache_ != nullptr) cache_->Unpin(slot_);
+      cache_ = o.cache_;
+      slot_ = o.slot_;
+      data_ = o.data_;
+      base_ = o.base_;
+      words_ = o.words_;
+      o.cache_ = nullptr;
+    }
+    return *this;
+  }
+  PinnedLine(const PinnedLine&) = delete;
+  PinnedLine& operator=(const PinnedLine&) = delete;
+
+  /// The line's B words.
+  Word* data() const { return data_; }
+  /// Word address of data()[0].
+  Addr base() const { return base_; }
+  /// Line size in words (= B).
+  std::size_t size_words() const { return words_; }
+
+ private:
+  Cache* cache_ = nullptr;
+  std::int32_t slot_ = -1;
+  Word* data_ = nullptr;
+  Addr base_ = 0;
+  std::size_t words_ = 0;
+};
+
 /// \brief RAII region of device allocations, popped on destruction.
 class DeviceRegion {
  public:
@@ -107,6 +161,66 @@ class Context {
         probe_->TouchRange(a, words, /*write=*/true);
       }
     }
+  }
+
+  /// Block-buffered stream transfers: move [a, a+words) in one call while
+  /// charging the exact touch sequence of a record-by-record pass in
+  /// `elem_words`-word records (see Cache::ScanRange). These back the
+  /// buffered Scanner/Writer in em/array.h: same IoStats as the element-wise
+  /// path, a fraction of the bookkeeping work.
+  void ReadScan(Addr a, std::size_t words, std::size_t elem_words, void* out) {
+    if (!cache_.staged()) {
+      cache_.ScanRange(a, words, elem_words, /*write=*/false);
+      std::memcpy(out, device_.direct_view() + a, words * sizeof(Word));
+    } else {
+      cache_.ReadScan(a, words, elem_words, out);
+    }
+    if (probe_ != nullptr && cache_.counting()) {
+      probe_->ScanRange(a, words, elem_words, /*write=*/false);
+    }
+  }
+
+  /// The charge half of ReadScan alone: registers the element-wise forward
+  /// scan without moving any data (callers already hold the records).
+  void TouchScan(Addr a, std::size_t words, std::size_t elem_words) {
+    cache_.ScanRange(a, words, elem_words, /*write=*/false);
+    if (probe_ != nullptr && cache_.counting()) {
+      probe_->ScanRange(a, words, elem_words, /*write=*/false);
+    }
+  }
+
+  void WriteScan(Addr a, std::size_t words, std::size_t elem_words,
+                 const void* in) {
+    if (!cache_.staged()) {
+      cache_.ScanRange(a, words, elem_words, /*write=*/true);
+      std::memcpy(device_.direct_view() + a, in, words * sizeof(Word));
+    } else {
+      cache_.WriteScan(a, words, elem_words, in);
+    }
+    if (probe_ != nullptr && cache_.counting()) {
+      probe_->ScanRange(a, words, elem_words, /*write=*/true);
+    }
+  }
+
+  /// Memory-backend pointer to device word `a` (the raw simulator view), or
+  /// nullptr when the device stages real data. Callers pair it with explicit
+  /// TouchRange charges to keep IoStats exact while skipping the per-record
+  /// copy chain (see Array::MemRef). Invalidated by Alloc.
+  Word* DirectData(Addr a) {
+    return cache_.staged() ? nullptr : device_.direct_view() + a;
+  }
+
+  /// Pins the cache line containing `addr` and returns a handle exposing its
+  /// B-word buffer (see PinnedLine). Charges like Touch(addr, write); a write
+  /// pin marks the line dirty so buffer edits reach the backend on eventual
+  /// write-back. Counting must be enabled.
+  PinnedLine PinLine(Addr addr, bool write) {
+    std::int32_t s = cache_.Pin(addr, write);
+    const Addr base = addr - addr % cfg_.block_words;
+    Word* data = cache_.staged() ? cache_.slot_buffer(s)
+                                 : device_.direct_view() + base;
+    if (probe_ != nullptr) probe_->Touch(addr, write);
+    return PinnedLine(&cache_, s, data, base, cfg_.block_words);
   }
 
   /// Attaches a second, passive LRU cache observing the same access stream —

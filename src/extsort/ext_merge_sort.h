@@ -109,6 +109,7 @@ void ExternalMergeSort(em::Context& ctx, em::Array<T> data, Less less) {
       }
       next_runs.emplace_back(out_lo, out.count());
     }
+    out.Flush();  // pending records must land before the next pass reads them
     runs.swap(next_runs);
     std::swap(src, pong);
   }

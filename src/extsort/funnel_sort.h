@@ -101,6 +101,14 @@ class FunnelMerger {
     nodes_ = ctx_.Alloc<FunnelNode>(host_nodes.size());
     for (std::size_t i = 0; i < host_nodes.size(); ++i) nodes_.Set(i, host_nodes[i]);
     pool_ = ctx_.Alloc<T>(std::max<std::uint32_t>(pool_elems, 1));
+    // Memory backend: run the merge over zero-copy views, charging the
+    // identical touch sequence (same IoStats as the staged path — asserted
+    // by the storage differential matrix). No allocations happen past this
+    // point, so the views stay valid for the whole merge.
+    nodes_ref_ = nodes_.MemRef();
+    pool_ref_ = pool_.MemRef();
+    input_ref_ = input_.MemRef();
+    if (pool_ref_ == nullptr || input_ref_ == nullptr) nodes_ref_ = nullptr;
   }
 
   /// Runs the merge to completion, writing all elements to `out`.
@@ -108,16 +116,21 @@ class FunnelMerger {
     FunnelNode root = nodes_.Get(0);
     if (root.left < 0) {
       // Single segment: plain copy.
-      for (std::uint32_t p = root.seg_pos; p < root.seg_end; ++p) {
-        out.Push(input_.Get(p));
-      }
+      em::Scanner<T> in(input_, root.seg_pos, root.seg_end);
+      while (in.HasNext()) out.Push(in.Next());
       return;
     }
+    std::vector<T> drained;
     while (true) {
       Fill(0);
       root = nodes_.Get(0);
-      for (std::uint32_t i = root.head; i < root.tail; ++i) {
-        out.Push(pool_.Get(root.buf_off + i));
+      // Drain the root buffer in one scan-exact bulk read (charged like the
+      // per-record Gets it replaces).
+      if (root.tail > root.head) {
+        drained.resize(root.tail - root.head);
+        pool_.ReadScanInto(root.buf_off + root.head, root.buf_off + root.tail,
+                           drained.data());
+        for (const T& v : drained) out.Push(v);
       }
       root.head = root.tail;
       nodes_.Set(0, root);
@@ -128,6 +141,18 @@ class FunnelMerger {
  private:
   static bool IsLeaf(const FunnelNode& nd) { return nd.left < 0; }
 
+  void Fill(std::int32_t idx) {
+    if (nodes_ref_ != nullptr) {
+      FillRef(idx);
+    } else {
+      FillCopy(idx);
+    }
+  }
+
+  // --- Staged (copying) merge path -----------------------------------------
+  // The reference implementation: every node/record access is a full
+  // Get/Set. The ref path below must charge the identical touch sequence.
+
   /// Makes sure node `idx` has at least one readable element (refilling an
   /// empty internal buffer); returns false iff the node is drained for good.
   bool EnsureData(std::int32_t idx) {
@@ -135,7 +160,7 @@ class FunnelMerger {
     if (IsLeaf(nd)) return nd.seg_pos < nd.seg_end;
     if (nd.head < nd.tail) return true;
     if (nd.exhausted != 0) return false;
-    Fill(idx);
+    FillCopy(idx);
     nd = nodes_.Get(idx);
     return nd.head < nd.tail;
   }
@@ -158,7 +183,7 @@ class FunnelMerger {
 
   /// Lazy refill: fills node `idx`'s buffer to capacity or until its subtree
   /// is exhausted.
-  void Fill(std::int32_t idx) {
+  void FillCopy(std::int32_t idx) {
     FunnelNode nd = nodes_.Get(idx);
     nd.head = 0;
     nd.tail = 0;
@@ -189,11 +214,85 @@ class FunnelMerger {
     nodes_.Set(idx, nd);
   }
 
+  // --- Memory-backend (zero-copy) merge path -------------------------------
+  // Same control flow, same touch charges at the same points, but node and
+  // record data is reached through the direct view instead of per-record
+  // copies — this is where the funnel's wall-clock goes.
+
+  bool EnsureDataRef(std::int32_t idx) {
+    nodes_.TouchGet(idx);
+    FunnelNode& nd = nodes_ref_[idx];
+    if (IsLeaf(nd)) return nd.seg_pos < nd.seg_end;
+    if (nd.head < nd.tail) return true;
+    if (nd.exhausted != 0) return false;
+    FillRef(idx);
+    nodes_.TouchGet(idx);
+    return nd.head < nd.tail;
+  }
+
+  const T& PeekNodeRef(std::int32_t idx) {
+    nodes_.TouchGet(idx);
+    const FunnelNode& nd = nodes_ref_[idx];
+    if (IsLeaf(nd)) {
+      input_.TouchGet(nd.seg_pos);
+      return input_ref_[nd.seg_pos];
+    }
+    pool_.TouchGet(nd.buf_off + nd.head);
+    return pool_ref_[nd.buf_off + nd.head];
+  }
+
+  void PopNodeRef(std::int32_t idx) {
+    nodes_.TouchGet(idx);
+    FunnelNode& nd = nodes_ref_[idx];
+    if (IsLeaf(nd)) {
+      ++nd.seg_pos;
+    } else {
+      ++nd.head;
+    }
+    nodes_.TouchSet(idx);
+  }
+
+  void FillRef(std::int32_t idx) {
+    nodes_.TouchGet(idx);
+    FunnelNode& nd = nodes_ref_[idx];
+    nd.head = 0;
+    nd.tail = 0;
+    nodes_.TouchSet(idx);
+    while (nd.tail < nd.buf_cap) {
+      bool lhas = EnsureDataRef(nd.left);
+      bool rhas = EnsureDataRef(nd.right);
+      if (!lhas && !rhas) {
+        nd.exhausted = 1;
+        break;
+      }
+      std::int32_t pick;
+      if (!lhas) {
+        pick = nd.right;
+      } else if (!rhas) {
+        pick = nd.left;
+      } else {
+        const T& lv = PeekNodeRef(nd.left);
+        const T& rv = PeekNodeRef(nd.right);
+        pick = less_(rv, lv) ? nd.right : nd.left;
+      }
+      T v = PeekNodeRef(pick);
+      PopNodeRef(pick);
+      pool_.TouchSet(nd.buf_off + nd.tail);
+      pool_ref_[nd.buf_off + nd.tail] = v;
+      ++nd.tail;
+      ctx_.AddWork(6);
+    }
+    nodes_.TouchSet(idx);
+  }
+
   em::Context& ctx_;
   em::Array<T> input_;
   Less less_;
   em::Array<FunnelNode> nodes_;
   em::Array<T> pool_;
+  FunnelNode* nodes_ref_ = nullptr;  // non-null = zero-copy (memory) mode
+  T* pool_ref_ = nullptr;
+  T* input_ref_ = nullptr;
 };
 
 }  // namespace internal
@@ -233,6 +332,7 @@ void FunnelSort(em::Context& ctx, em::Array<T> data, Less less) {
   internal::FunnelMerger<T, Less> merger(ctx, data, segs, less);
   em::Writer<T> w(out);
   merger.Run(w);
+  w.Flush();  // `out` is read below while `w` is still alive
   TRIENUM_CHECK(w.count() == n);
   Copy(out, data);
 }

@@ -1,6 +1,8 @@
 // Streaming scan primitives over em::Array: map/filter/copy/reduce. All cost
 // O(n/B) I/Os and are the glue of every algorithm in the paper (which are all
-// built from sorts and scans).
+// built from sorts and scans). Each runs over the block-buffered
+// Scanner/Writer, so the I/O charges are identical to a record-by-record
+// pass while the per-record work is a host-buffer access.
 #ifndef TRIENUM_EXTSORT_SCAN_OPS_H_
 #define TRIENUM_EXTSORT_SCAN_OPS_H_
 
@@ -12,34 +14,44 @@ namespace trienum::extsort {
 
 /// Copies elements of `src` satisfying `pred` into the front of `dst`;
 /// returns how many were kept. `dst` must have capacity >= src.size() (it may
-/// alias `src`, since writes trail reads).
+/// alias `src`, since writes trail reads — the buffered Writer flushes a line
+/// only after the Scanner has moved past it).
 template <typename T, typename Pred>
 std::size_t Filter(const em::Array<T>& src, em::Array<T> dst, Pred pred) {
-  std::size_t out = 0;
-  for (std::size_t i = 0; i < src.size(); ++i) {
-    T v = src.Get(i);
-    if (pred(v)) dst.Set(out++, v);
+  em::Scanner<T> in(src);
+  em::Writer<T> out(dst);
+  while (in.HasNext()) {
+    T v = in.Next();
+    if (pred(v)) out.Push(v);
   }
-  return out;
+  out.Flush();
+  return out.count();
 }
 
 /// Applies `fn` to each element of `src`, writing results to `dst`.
 template <typename T, typename U, typename Fn>
 void Transform(const em::Array<T>& src, em::Array<U> dst, Fn fn) {
-  for (std::size_t i = 0; i < src.size(); ++i) dst.Set(i, fn(src.Get(i)));
+  em::Scanner<T> in(src);
+  em::Writer<U> out(dst);
+  while (in.HasNext()) out.Push(fn(in.Next()));
+  out.Flush();
 }
 
 /// Invokes `fn(element)` for each element in order.
 template <typename T, typename Fn>
 void ForEach(const em::Array<T>& src, Fn fn) {
-  for (std::size_t i = 0; i < src.size(); ++i) fn(src.Get(i));
+  em::Scanner<T> in(src);
+  while (in.HasNext()) fn(in.Next());
 }
 
 /// Copies src into dst (same length).
 template <typename T>
 void Copy(const em::Array<T>& src, em::Array<T> dst) {
   TRIENUM_CHECK(dst.size() >= src.size());
-  for (std::size_t i = 0; i < src.size(); ++i) dst.Set(i, src.Get(i));
+  em::Scanner<T> in(src);
+  em::Writer<T> out(dst);
+  while (in.HasNext()) out.Push(in.Next());
+  out.Flush();
 }
 
 /// Removes consecutive duplicates (under `eq`) in place; returns new length.
@@ -47,24 +59,28 @@ void Copy(const em::Array<T>& src, em::Array<T> dst) {
 template <typename T, typename Eq>
 std::size_t UniqueConsecutive(em::Array<T> a, Eq eq) {
   if (a.empty()) return 0;
-  std::size_t out = 1;
-  T prev = a.Get(0);
-  for (std::size_t i = 1; i < a.size(); ++i) {
-    T v = a.Get(i);
+  em::Scanner<T> in(a);
+  em::Writer<T> out(a);
+  T prev = in.Next();
+  out.Push(prev);
+  while (in.HasNext()) {
+    T v = in.Next();
     if (!eq(prev, v)) {
-      a.Set(out++, v);
+      out.Push(v);
       prev = v;
     }
   }
-  return out;
+  out.Flush();
+  return out.count();
 }
 
 /// Counts elements satisfying `pred`.
 template <typename T, typename Pred>
 std::size_t CountIf(const em::Array<T>& src, Pred pred) {
   std::size_t n = 0;
-  for (std::size_t i = 0; i < src.size(); ++i) {
-    if (pred(src.Get(i))) ++n;
+  em::Scanner<T> in(src);
+  while (in.HasNext()) {
+    if (pred(in.Next())) ++n;
   }
   return n;
 }
@@ -72,8 +88,13 @@ std::size_t CountIf(const em::Array<T>& src, Pred pred) {
 /// True if the array is sorted under `less` (one scan).
 template <typename T, typename Less>
 bool IsSorted(const em::Array<T>& a, Less less) {
-  for (std::size_t i = 1; i < a.size(); ++i) {
-    if (less(a.Get(i), a.Get(i - 1))) return false;
+  if (a.size() < 2) return true;
+  em::Scanner<T> in(a);
+  T prev = in.Next();
+  while (in.HasNext()) {
+    T v = in.Next();
+    if (less(v, prev)) return false;
+    prev = v;
   }
   return true;
 }

@@ -31,11 +31,17 @@ EmGraph NormalizeEdges(em::Context& ctx, em::Array<Edge> raw,
 
   // 1. Reorient to (min, max), dropping self-loops.
   em::Array<Edge> work = ctx.Alloc<Edge>(raw.size());
-  std::size_t m = 0;
-  for (std::size_t i = 0; i < raw.size(); ++i) {
-    Edge e = raw.Get(i);
-    if (e.u == e.v) continue;
-    work.Set(m++, Edge{std::min(e.u, e.v), std::max(e.u, e.v)});
+  std::size_t m;
+  {
+    em::Scanner<Edge> in(raw);
+    em::Writer<Edge> out(work);
+    while (in.HasNext()) {
+      Edge e = in.Next();
+      if (e.u == e.v) continue;
+      out.Push(Edge{std::min(e.u, e.v), std::max(e.u, e.v)});
+    }
+    out.Flush();
+    m = out.count();
   }
   em::Array<Edge> edges = work.Slice(0, m);
 
@@ -51,20 +57,25 @@ EmGraph NormalizeEdges(em::Context& ctx, em::Array<Edge> raw,
 
   // 3. Degrees: scatter endpoints, sort, and run-length encode.
   em::Array<VertexId> ends = ctx.Alloc<VertexId>(2 * m);
-  for (std::size_t i = 0; i < m; ++i) {
-    Edge e = edges.Get(i);
-    ends.Set(2 * i, e.u);
-    ends.Set(2 * i + 1, e.v);
+  {
+    em::Scanner<Edge> in(edges);
+    em::Writer<VertexId> out(ends);
+    while (in.HasNext()) {
+      Edge e = in.Next();
+      out.Push(e.u);
+      out.Push(e.v);
+    }
   }
   extsort::ExternalMergeSort(ctx, ends,
                              [](VertexId a, VertexId b) { return a < b; });
   em::Array<DegRec> dv = ctx.Alloc<DegRec>(2 * m);
   em::Writer<DegRec> dvw(dv);
   {
-    VertexId cur = ends.Get(0);
+    em::Scanner<VertexId> in(ends);
+    VertexId cur = in.Next();
     std::uint32_t cnt = 1;
-    for (std::size_t i = 1; i < 2 * m; ++i) {
-      VertexId x = ends.Get(i);
+    while (in.HasNext()) {
+      VertexId x = in.Next();
       if (x == cur) {
         ++cnt;
       } else {
@@ -85,8 +96,11 @@ EmGraph NormalizeEdges(em::Context& ctx, em::Array<Edge> raw,
 
   // 5. Relabeling table sorted by old id.
   em::Array<MapRec> map = ctx.Alloc<MapRec>(nv);
-  for (VertexId i = 0; i < nv; ++i) {
-    map.Set(i, MapRec{degs.Get(i).v, i});
+  {
+    em::Scanner<DegRec> in(degs);
+    em::Writer<MapRec> out(map);
+    VertexId i = 0;
+    while (in.HasNext()) out.Push(MapRec{in.Next().v, i++});
   }
   extsort::ExternalMergeSort(ctx, map, [](const MapRec& a, const MapRec& b) {
     return a.old_id < b.old_id;
@@ -95,27 +109,33 @@ EmGraph NormalizeEdges(em::Context& ctx, em::Array<Edge> raw,
   // 6. Relabel edges with two merge-join passes (edges sorted by u, then v).
   {
     em::Scanner<MapRec> ms(map);
+    em::Scanner<Edge> in(edges);
+    em::Writer<Edge> out(edges);  // in place: writes trail reads
     MapRec cur = ms.Next();
-    for (std::size_t i = 0; i < m; ++i) {
-      Edge e = edges.Get(i);
+    while (in.HasNext()) {
+      Edge e = in.Next();
       while (cur.old_id < e.u && ms.HasNext()) cur = ms.Next();
       TRIENUM_CHECK(cur.old_id == e.u);
-      edges.Set(i, Edge{cur.new_id, e.v});
+      out.Push(Edge{cur.new_id, e.v});
     }
+    out.Flush();
   }
   extsort::ExternalMergeSort(ctx, edges, [](const Edge& a, const Edge& b) {
     return std::tie(a.v, a.u) < std::tie(b.v, b.u);
   });
   {
     em::Scanner<MapRec> ms(map);
+    em::Scanner<Edge> in(edges);
+    em::Writer<Edge> out(edges);  // in place: writes trail reads
     MapRec cur = ms.Next();
-    for (std::size_t i = 0; i < m; ++i) {
-      Edge e = edges.Get(i);
+    while (in.HasNext()) {
+      Edge e = in.Next();
       while (cur.old_id < e.v && ms.HasNext()) cur = ms.Next();
       TRIENUM_CHECK(cur.old_id == e.v);
       VertexId a = e.u, b = cur.new_id;
-      edges.Set(i, Edge{std::min(a, b), std::max(a, b)});
+      out.Push(Edge{std::min(a, b), std::max(a, b)});
     }
+    out.Flush();
   }
   extsort::ExternalMergeSort(ctx, edges, LexLess{});
 
@@ -123,11 +143,13 @@ EmGraph NormalizeEdges(em::Context& ctx, em::Array<Edge> raw,
   em::Array<Edge> out_edges = ctx.Alloc<Edge>(m);
   extsort::Copy(edges, out_edges);
   em::Array<std::uint32_t> out_deg = ctx.Alloc<std::uint32_t>(nv);
-  for (VertexId i = 0; i < nv; ++i) out_deg.Set(i, degs.Get(i).deg);
+  extsort::Transform(degs, out_deg, [](const DegRec& d) { return d.deg; });
 
   if (new_to_old != nullptr) {
     new_to_old->resize(nv);
-    for (VertexId i = 0; i < nv; ++i) (*new_to_old)[i] = degs.Get(i).v;
+    em::Scanner<DegRec> in(degs);
+    VertexId i = 0;
+    while (in.HasNext()) (*new_to_old)[i++] = in.Next().v;
   }
   return EmGraph{out_edges, nv, out_deg};
 }

@@ -4,29 +4,10 @@
 
 namespace trienum::hashing {
 
-std::uint64_t MulMod61(std::uint64_t a, std::uint64_t b) {
-  __uint128_t prod = static_cast<__uint128_t>(a) * b;
-  std::uint64_t lo = static_cast<std::uint64_t>(prod & kMersenne61);
-  std::uint64_t hi = static_cast<std::uint64_t>(prod >> 61);
-  std::uint64_t s = lo + hi;
-  if (s >= kMersenne61) s -= kMersenne61;
-  return s;
-}
-
 FourWiseHash::FourWiseHash(std::uint64_t seed) : seed_(seed) {
   SplitMix64 rng(seed);
   for (int i = 0; i < 4; ++i) a_[i] = rng.Next() % kMersenne61;
   if (a_[3] == 0) a_[3] = 1;  // keep the polynomial degree exactly 3
-}
-
-std::uint64_t FourWiseHash::operator()(std::uint64_t x) const {
-  std::uint64_t xm = x % kMersenne61;
-  // Horner evaluation: ((a3*x + a2)*x + a1)*x + a0.
-  std::uint64_t h = a_[3];
-  h = AddMod61(MulMod61(h, xm), a_[2]);
-  h = AddMod61(MulMod61(h, xm), a_[1]);
-  h = AddMod61(MulMod61(h, xm), a_[0]);
-  return h;
 }
 
 }  // namespace trienum::hashing

@@ -15,8 +15,16 @@ namespace trienum::hashing {
 /// Mersenne prime 2^61 - 1 used as the field modulus.
 inline constexpr std::uint64_t kMersenne61 = (std::uint64_t{1} << 61) - 1;
 
-/// (a * b) mod (2^61 - 1) without overflow.
-std::uint64_t MulMod61(std::uint64_t a, std::uint64_t b);
+/// (a * b) mod (2^61 - 1) without overflow. Inline: this runs twice per
+/// vertex-color evaluation on the recursion's hottest loop.
+inline std::uint64_t MulMod61(std::uint64_t a, std::uint64_t b) {
+  __uint128_t prod = static_cast<__uint128_t>(a) * b;
+  std::uint64_t lo = static_cast<std::uint64_t>(prod & kMersenne61);
+  std::uint64_t hi = static_cast<std::uint64_t>(prod >> 61);
+  std::uint64_t s = lo + hi;
+  if (s >= kMersenne61) s -= kMersenne61;
+  return s;
+}
 
 /// (a + b) mod (2^61 - 1).
 inline std::uint64_t AddMod61(std::uint64_t a, std::uint64_t b) {
@@ -35,7 +43,17 @@ class FourWiseHash {
   explicit FourWiseHash(std::uint64_t seed);
 
   /// Full 61-bit hash value.
-  std::uint64_t operator()(std::uint64_t x) const;
+  std::uint64_t operator()(std::uint64_t x) const {
+    // Vertex ids are < 2^32 < p, so the reduction is almost always the
+    // identity — skip the 64-bit division on that path.
+    std::uint64_t xm = x < kMersenne61 ? x : x % kMersenne61;
+    // Horner evaluation: ((a3*x + a2)*x + a1)*x + a0.
+    std::uint64_t h = a_[3];
+    h = AddMod61(MulMod61(h, xm), a_[2]);
+    h = AddMod61(MulMod61(h, xm), a_[1]);
+    h = AddMod61(MulMod61(h, xm), a_[0]);
+    return h;
+  }
 
   /// One (pairwise-exactly, 4-wise almost) unbiased bit.
   std::uint32_t Bit(std::uint64_t x) const {
