@@ -2,18 +2,25 @@
 // sort(n) = Theta((n/B) log_{M/B}(n/B)) model. `io_over_sortbound` should be
 // ~1-3x for the cache-aware merge sort and a larger but flat constant for
 // funnelsort (which also moves merger state).
+//
+// Since the PR 4 sort-engine overhaul this runs at the engine's reference
+// operating point (M = 2^14 words, B = 64 — the config the end-to-end
+// benches use), and wall_ms doubles as the engine's committed perf record:
+// the CI bench-smoke job fails if it regresses >2x against
+// bench/baselines/BENCH_sort.json.
 #include <benchmark/benchmark.h>
 
 #include "common/rng.h"
 #include "em/array.h"
 #include "extsort/ext_merge_sort.h"
 #include "extsort/funnel_sort.h"
+#include "extsort/io_bounds.h"
 
 namespace trienum::bench {
 namespace {
 
-constexpr std::size_t kM = 1 << 10;
-constexpr std::size_t kB = 16;
+constexpr std::size_t kM = 1 << 14;
+constexpr std::size_t kB = 64;
 
 template <typename SortFn>
 void RunSortBench(benchmark::State& state, SortFn sort_fn) {

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Fail if any benchmark's wall_ms regressed past a loose band vs baseline.
+
+Usage: check_wall_regression.py NEW_JSON BASELINE_JSON [--max-ratio 2.0]
+                                [--min-ms 1.0]
+
+Rows are matched by benchmark name; rows present on only one side are
+ignored (renames and new benches don't break the gate). Rows whose baseline
+wall_ms is below --min-ms are skipped as noise. The default 2x band is
+deliberately loose: it tolerates machine variance between the committed
+baseline and the CI runner and catches only accidental slow paths (an
+engine fallback kicking in, a debug assert left on, quadratic bookkeeping).
+
+Note: the JSON context's "library_build_type" describes how the
+google-benchmark *library* was built (the distro package reports "debug");
+the benchmarked code itself is Release (-O3 -DNDEBUG) both in the committed
+baselines and in the CI bench-smoke job, so the comparison is like-for-like.
+"""
+import argparse
+import json
+import sys
+
+
+def load_wall(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for b in doc.get("benchmarks", []):
+        if "wall_ms" in b:
+            out[b["name"]] = float(b["wall_ms"])
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("new_json")
+    ap.add_argument("baseline_json")
+    ap.add_argument("--max-ratio", type=float, default=2.0)
+    ap.add_argument("--min-ms", type=float, default=1.0)
+    args = ap.parse_args()
+
+    new = load_wall(args.new_json)
+    base = load_wall(args.baseline_json)
+    common = sorted(set(new) & set(base))
+    if not common:
+        sys.exit(f"no common benchmark rows between {args.new_json} and "
+                 f"{args.baseline_json}")
+
+    failures = []
+    for name in common:
+        if base[name] < args.min_ms:
+            continue
+        ratio = new[name] / base[name]
+        marker = " <-- REGRESSION" if ratio > args.max_ratio else ""
+        print(f"{name}: {base[name]:.2f} ms -> {new[name]:.2f} ms "
+              f"({ratio:.2f}x){marker}")
+        if ratio > args.max_ratio:
+            failures.append(name)
+
+    if failures:
+        sys.exit(f"{len(failures)} benchmark(s) regressed >"
+                 f"{args.max_ratio}x: {', '.join(failures)}")
+    print(f"OK: {len(common)} rows within the {args.max_ratio}x band")
+
+
+if __name__ == "__main__":
+    main()

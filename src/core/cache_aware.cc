@@ -1,7 +1,6 @@
 #include "core/cache_aware.h"
 
 #include <cmath>
-#include <tuple>
 #include <vector>
 
 #include "core/coloring.h"
@@ -81,11 +80,7 @@ void EnumerateCacheAware(em::Context& ctx, const graph::EmGraph& g,
   extsort::Transform(low, colored, [&](const Edge& e) {
     return ColoredEdge{e.u, e.v, color(e.u), color(e.v)};
   });
-  extsort::ExternalMergeSort(ctx, colored,
-                             [](const ColoredEdge& a, const ColoredEdge& b) {
-                               return std::tie(a.cu, a.cv, a.u, a.v) <
-                                      std::tie(b.cu, b.cv, b.u, b.v);
-                             });
+  extsort::ExternalMergeSort(ctx, colored, graph::ColorClassLess{});
 
   // Bucket offsets live on the device (c^2 + 1 words, built with one
   // counting scan and a prefix sum), so no internal-memory assumption beyond

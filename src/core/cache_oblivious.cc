@@ -106,12 +106,11 @@ class CoRunner {
       // without re-moving data, and the refinement bits are computed once
       // and reused. The touch sequence is identical to the two-scan path.
       std::array<ColoredEdge, kSmallNode> ebuf;
-      std::array<std::uint8_t, kSmallNode> ubit, vbit;
+      std::array<std::uint8_t, kSmallNode> ebits;
       a.ReadScanInto(0, len, ebuf.data());
       for (std::size_t i = 0; i < len; ++i) {
-        ubit[i] = static_cast<std::uint8_t>(bh.Bit(ebuf[i].u));
-        vbit[i] = static_cast<std::uint8_t>(bh.Bit(ebuf[i].v));
-        route(ebuf[i], ubit[i], vbit[i],
+        ebits[i] = static_cast<std::uint8_t>(bh.PairBits(ebuf[i].u, ebuf[i].v));
+        route(ebuf[i], ebits[i] & 1u, ebits[i] >> 1,
               [&](int z, const ColoredEdge&, bool s01, bool s12, bool s02) {
                 ++child_len[z];
                 slots[z][0] += s01 ? 1 : 0;
@@ -125,17 +124,34 @@ class CoRunner {
       }
       a.TouchScanRange(0, len);  // the routing pass's read charges
       for (std::size_t i = 0; i < len; ++i) {
-        route(ebuf[i], ubit[i], vbit[i],
+        route(ebuf[i], ebits[i] & 1u, ebits[i] >> 1,
               [&](int z, const ColoredEdge& ce, bool, bool, bool) {
                 writers[z].Push(ce);
               });
       }
     } else {
+      // Refinement bits are GF(2^61-1) polynomial evaluations — the
+      // recursion's hottest host work. Each record's two bits are evaluated
+      // once (one batched two-point evaluation on the counting scan) and
+      // replayed on the write scan from a host-side bit cache, instead of
+      // re-deriving them per pass. The cache is 2 bits per record packed in
+      // a byte, capped by a fixed (M-independent, so still oblivious)
+      // constant; nodes beyond the cap fall back to re-evaluating on the
+      // second scan. Either way both scans stay real Scanner passes — the
+      // I/O charge sequence is untouched.
+      // One buffer shared down the whole recursion (children reuse it only
+      // after the parent's second scan has drained it).
+      const bool cache_bits = len <= kBitCacheMax;
+      std::vector<std::uint8_t>& bits = bit_cache_;
+      if (cache_bits && bits.size() < len) bits.resize(len);
       {
         em::Scanner<ColoredEdge> in(a.Slice(0, len));
+        std::size_t i = 0;
         while (in.HasNext()) {
           ColoredEdge e = in.Next();
-          route(e, bh.Bit(e.u), bh.Bit(e.v),
+          const std::uint32_t pb = bh.PairBits(e.u, e.v);
+          if (cache_bits) bits[i++] = static_cast<std::uint8_t>(pb);
+          route(e, pb & 1u, pb >> 1,
                 [&](int z, const ColoredEdge&, bool s01, bool s12, bool s02) {
                   ++child_len[z];
                   slots[z][0] += s01 ? 1 : 0;
@@ -150,9 +166,12 @@ class CoRunner {
       }
       {
         em::Scanner<ColoredEdge> in(a.Slice(0, len));
+        std::size_t i = 0;
         while (in.HasNext()) {
           ColoredEdge e = in.Next();
-          route(e, bh.Bit(e.u), bh.Bit(e.v),
+          const std::uint32_t pb =
+              cache_bits ? bits[i++] : bh.PairBits(e.u, e.v);
+          route(e, pb & 1u, pb >> 1,
                 [&](int z, const ColoredEdge& ce, bool, bool, bool) {
                   writers[z].Push(ce);
                 });
@@ -173,6 +192,12 @@ class CoRunner {
   /// (one charged read + a charge-only second scan) instead of the streaming
   /// two-pass — identical IoStats, none of the per-node stream setup.
   static constexpr std::size_t kSmallNode = 64;
+
+  /// Largest subproblem whose refinement bits are cached between the two
+  /// materialization scans (2 bits/record, 1 MiB of host metadata at the
+  /// cap). A fixed constant — the oblivious code path still never consults
+  /// M or B.
+  static constexpr std::size_t kBitCacheMax = std::size_t{1} << 20;
 
  private:
   /// Enumerates proper triangles through vertices of degree >= E/8 within
@@ -334,6 +359,7 @@ class CoRunner {
   int max_depth_;
   SplitMix64 rng_;
   CacheObliviousReport* report_;
+  std::vector<std::uint8_t> bit_cache_;  // refinement bits, node-local use
 };
 
 }  // namespace

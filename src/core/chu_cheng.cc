@@ -39,7 +39,8 @@ class PartitionRunner {
     // A single vertex whose extended subgraph overflows memory: Lemma 1
     // always works; keep only triangles where x is the smallest vertex (the
     // part-assignment rule), which is automatic since Gamma contains only
-    // larger... not so after degree ranking — filter explicitly.
+    // larger... not so after degree ranking — filter explicitly. The sorts
+    // inside Lemma 1 ride on the keyed engine via the AwareSorter policy.
     VertexId x = lo;
     EnumerateTrianglesContaining<Edge>(
         ctx_, g_.edges, x, extsort::AwareSorter{},

@@ -102,7 +102,8 @@ class QuadRecursor {
         while (in.HasNext()) {
           Edge e = in.Next();
           ctx_.AddWork(1);
-          if (bh.Bit(e.u) == want_u && bh.Bit(e.v) == want_v) w.Push(e);
+          const std::uint32_t pb = bh.PairBits(e.u, e.v);
+          if ((pb & 1u) == want_u && (pb >> 1) == want_v) w.Push(e);
         }
         if (w.count() == 0) viable = false;
         child[s] = w.Written();
@@ -185,12 +186,7 @@ void EnumerateFourCliques(em::Context& ctx, const graph::EmGraph& g,
     Edge e = low.Get(i);
     colored.Set(i, graph::ColoredEdge{e.u, e.v, color(e.u), color(e.v)});
   }
-  extsort::ExternalMergeSort(
-      ctx, colored, [](const graph::ColoredEdge& a, const graph::ColoredEdge& b) {
-        if (a.cu != b.cu) return a.cu < b.cu;
-        if (a.cv != b.cv) return a.cv < b.cv;
-        return a.u != b.u ? a.u < b.u : a.v < b.v;
-      });
+  extsort::ExternalMergeSort(ctx, colored, graph::ColorClassLess{});
   const std::size_t num_keys = static_cast<std::size_t>(c) * c;
   em::Array<std::uint64_t> offsets = ctx.Alloc<std::uint64_t>(num_keys + 1);
   em::Array<Edge> buckets = ctx.Alloc<Edge>(wlen);

@@ -4,6 +4,7 @@
 
 #include "extsort/ext_merge_sort.h"
 #include "extsort/scan_ops.h"
+#include "extsort/sort_key.h"
 
 namespace trienum::core {
 namespace {
@@ -13,6 +14,16 @@ struct IncidenceRec {
   std::uint64_t class_key = 0;
   graph::VertexId v = 0;
   std::uint32_t pad = 0;
+};
+
+/// (class_key, v) is 96 bits; radix on the class key, comparator finishes
+/// the per-class runs.
+struct IncidenceLess {
+  static constexpr bool kKeyComplete = false;
+  static std::uint64_t Key(const IncidenceRec& r) { return r.class_key; }
+  bool operator()(const IncidenceRec& a, const IncidenceRec& b) const {
+    return std::tie(a.class_key, a.v) < std::tie(b.class_key, b.v);
+  }
 };
 
 double Choose2(double n) { return n * (n - 1) / 2.0; }
@@ -31,9 +42,7 @@ ColoringStats ComputeColoringStats(em::Context& ctx, em::Array<graph::Edge> edge
   extsort::Transform(edges, keys, [&](const graph::Edge& e) {
     return static_cast<std::uint64_t>(color(e.u)) * c + color(e.v);
   });
-  extsort::ExternalMergeSort(ctx, keys, [](std::uint64_t a, std::uint64_t b) {
-    return a < b;
-  });
+  extsort::ExternalMergeSort(ctx, keys, extsort::ValueLess<std::uint64_t>{});
   {
     em::Scanner<std::uint64_t> in(keys);
     std::uint64_t cur = in.Next();
@@ -71,11 +80,7 @@ ColoringStats ComputeColoringStats(em::Context& ctx, em::Array<graph::Edge> edge
       out_w.Push(IncidenceRec{key, e.v, 0});
     }
   }
-  extsort::ExternalMergeSort(ctx, inc,
-                             [](const IncidenceRec& a, const IncidenceRec& b) {
-                               return std::tie(a.class_key, a.v) <
-                                      std::tie(b.class_key, b.v);
-                             });
+  extsort::ExternalMergeSort(ctx, inc, IncidenceLess{});
   {
     em::Scanner<IncidenceRec> in(inc);
     IncidenceRec cur = in.Next();

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "extsort/io_bounds.h"
+
 namespace trienum::core {
 
 void EnumerateDementiev(em::Context& ctx, const graph::EmGraph& g,

@@ -21,6 +21,7 @@
 #include "core/vertex_enum.h"
 #include "em/array.h"
 #include "extsort/scan_ops.h"
+#include "extsort/sort_key.h"
 #include "extsort/sorter.h"
 #include "graph/normalize.h"
 #include "graph/types.h"
@@ -51,6 +52,44 @@ struct WedgeOriented {
 struct WedgeQuery {
   graph::VertexId a = 0, b = 0, s = 0;
   std::uint32_t ca = 0, cb = 0, cs = 0;
+};
+
+// Keyed orders for the engine (see extsort/sort_key.h): each comparator
+// compares exactly the two ids its key packs, so all three keys are
+// complete; payload fields ride on the engine's stability.
+
+/// (v, u): the second degree-attach pass groups edges by larger endpoint.
+struct ByTargetLess {
+  static constexpr bool kKeyComplete = true;
+  static std::uint64_t Key(const WedgeDegEdge& e) {
+    return extsort::PackKey(e.v, e.u);
+  }
+  bool operator()(const WedgeDegEdge& a, const WedgeDegEdge& b) const {
+    return std::tie(a.v, a.u) < std::tie(b.v, b.u);
+  }
+};
+
+/// (s, t): wedge generation groups oriented edges by source.
+struct BySourceLess {
+  static constexpr bool kKeyComplete = true;
+  static std::uint64_t Key(const WedgeOriented& e) {
+    return extsort::PackKey(e.s, e.t);
+  }
+  bool operator()(const WedgeOriented& a, const WedgeOriented& b) const {
+    return std::tie(a.s, a.t) < std::tie(b.s, b.t);
+  }
+};
+
+/// (a, b): the join order of the query stream (duplicates-heavy — many
+/// wedges probe the same edge).
+struct ByQueryEdgeLess {
+  static constexpr bool kKeyComplete = true;
+  static std::uint64_t Key(const WedgeQuery& q) {
+    return extsort::PackKey(q.a, q.b);
+  }
+  bool operator()(const WedgeQuery& a, const WedgeQuery& b) const {
+    return std::tie(a.a, a.b) < std::tie(b.a, b.b);
+  }
 };
 
 }  // namespace internal
@@ -86,7 +125,7 @@ void WedgeJoinEnumerate(em::Context& ctx, em::Array<EdgeT> edges, Sorter sorter,
       ew.Push(Access::V(e));
     }
   }
-  sorter(ctx, ends, [](VertexId a, VertexId b) { return a < b; });
+  sorter(ctx, ends, extsort::ValueLess<VertexId>{});
   em::Array<LocalDeg> degs = ctx.Alloc<LocalDeg>(2 * m);
   em::Writer<LocalDeg> dw(degs);
   {
@@ -122,9 +161,7 @@ void WedgeJoinEnumerate(em::Context& ctx, em::Array<EdgeT> edges, Sorter sorter,
                             Access::CV(e)});
     }
   }
-  sorter(ctx, de, [](const WedgeDegEdge& a, const WedgeDegEdge& b) {
-    return std::tie(a.v, a.u) < std::tie(b.v, b.u);
-  });
+  sorter(ctx, de, internal::ByTargetLess{});
   {
     em::Scanner<WedgeDegEdge> des(de);
     em::Writer<WedgeDegEdge> dew(de);  // in place: writes trail reads
@@ -154,9 +191,7 @@ void WedgeJoinEnumerate(em::Context& ctx, em::Array<EdgeT> edges, Sorter sorter,
       }
     }
   }
-  sorter(ctx, ow, [](const WedgeOriented& a, const WedgeOriented& b) {
-    return std::tie(a.s, a.t) < std::tie(b.s, b.t);
-  });
+  sorter(ctx, ow, internal::BySourceLess{});
 
   // --- Count wedges, then generate them --------------------------------------
   std::uint64_t num_wedges = 0;
@@ -210,9 +245,7 @@ void WedgeJoinEnumerate(em::Context& ctx, em::Array<EdgeT> edges, Sorter sorter,
   qw.Flush();  // the sorter below reads `queries` while qw is still alive
 
   // --- Sort queries and merge-join against the edge list ---------------------
-  sorter(ctx, queries, [](const WedgeQuery& a, const WedgeQuery& b) {
-    return std::tie(a.a, a.b) < std::tie(b.a, b.b);
-  });
+  sorter(ctx, queries, internal::ByQueryEdgeLess{});
   {
     em::Scanner<WedgeQuery> qs(queries);
     em::Scanner<EdgeT> es(edges);

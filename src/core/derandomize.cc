@@ -5,6 +5,7 @@
 #include <tuple>
 
 #include "extsort/ext_merge_sort.h"
+#include "extsort/sort_key.h"
 #include "hashing/bit_family.h"
 
 namespace trienum::core {
@@ -21,6 +22,19 @@ struct IncRec {
   VertexId other = 0;            // the opposite endpoint
   std::uint32_t side = 0;
   std::uint32_t pad = 0;
+};
+
+/// (cu, cv, v) grouping order; radix on the packed class pair, comparator
+/// finishes the per-class runs. (other, side) are payload, so the engine's
+/// stability keeps the scans deterministic.
+struct IncClassLess {
+  static constexpr bool kKeyComplete = false;
+  static std::uint64_t Key(const IncRec& r) {
+    return extsort::PackKey(r.cu, r.cv);
+  }
+  bool operator()(const IncRec& a, const IncRec& b) const {
+    return std::tie(a.cu, a.cv, a.v) < std::tie(b.cu, b.cv, b.v);
+  }
 };
 
 double Choose2(double n) { return n * (n - 1) / 2.0; }
@@ -132,14 +146,8 @@ double Potential(const LevelStats& s, int level, std::uint32_t c) {
 
 void SortStructures(em::Context& ctx, em::Array<ColoredEdge> ce,
                     em::Array<IncRec> inc) {
-  extsort::ExternalMergeSort(ctx, ce,
-                             [](const ColoredEdge& a, const ColoredEdge& b) {
-                               return std::tie(a.cu, a.cv, a.u, a.v) <
-                                      std::tie(b.cu, b.cv, b.u, b.v);
-                             });
-  extsort::ExternalMergeSort(ctx, inc, [](const IncRec& a, const IncRec& b) {
-    return std::tie(a.cu, a.cv, a.v) < std::tie(b.cu, b.cv, b.v);
-  });
+  extsort::ExternalMergeSort(ctx, ce, graph::ColorClassLess{});
+  extsort::ExternalMergeSort(ctx, inc, IncClassLess{});
 }
 
 void RebuildIncidences(em::Array<ColoredEdge> ce, em::Array<IncRec> inc) {

@@ -19,6 +19,7 @@
 #define TRIENUM_CORE_PIVOT_ENUM_H_
 
 #include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "core/sink.h"
@@ -52,6 +53,16 @@ class FlatVertexMap {
     while (vals_[i] != kEmpty && keys_[i] != key) i = (i + 1) & mask_;
     keys_[i] = key;
     vals_[i] = val;
+  }
+
+  /// ORs `bits` into the payload for `key` (inserting it if absent) — lets
+  /// one table carry several roles per vertex, so the cone-stream hot loop
+  /// pays one probe instead of one per role.
+  void Add(graph::VertexId key, std::uint32_t bits) {
+    std::uint32_t i = Hash(key);
+    while (vals_[i] != kEmpty && keys_[i] != key) i = (i + 1) & mask_;
+    keys_[i] = key;
+    vals_[i] = vals_[i] == kEmpty ? bits : (vals_[i] | bits);
   }
 
   /// Payload for `key`, or kEmpty.
@@ -119,7 +130,10 @@ void PivotEnumerate(em::Context& ctx, em::Array<EdgeT> cone_a,
     pivot.ReadTo(p0, p1, chunk.data());
     // Every caller passes lex-sorted pivot edges (whole edge list or color
     // buckets cut from one), so the chunk is almost always already sorted —
-    // verify in one sweep and skip the sort.
+    // verify in one sweep and skip the sort. The fallback stays std::sort:
+    // edges are unique under LexLess, so stability is moot, and the
+    // in-place sort keeps the chunk lease the honest account of this
+    // chunk's internal-memory footprint.
     if (!std::is_sorted(chunk.begin(), chunk.end(), graph::LexLess{})) {
       std::sort(chunk.begin(), chunk.end(), graph::LexLess{});
     }
@@ -127,39 +141,41 @@ void PivotEnumerate(em::Context& ctx, em::Array<EdgeT> cone_a,
 
     // Adjacency over the resident pivot edges, keyed by smaller endpoint:
     // the sorted chunk itself is the index. `ranges` lists each distinct u's
-    // [first, last) run; two flat open-addressed tables answer the per-cone-
-    // edge membership probes in O(1) without malloc churn.
+    // [first, last) run. One flat open-addressed table carries both roles a
+    // vertex can play — payload bit 0 marks max-side membership, bits 1+
+    // hold 1 + the `ranges` index of its u-side run — so the cone hot loop
+    // answers both membership probes with a single lookup. (The packed
+    // payload would alias the empty sentinel only at 2^30 resident ranges;
+    // chunks are capped at M/(w+6) records, orders of magnitude below.)
     std::vector<std::pair<std::uint32_t, std::uint32_t>> ranges;
-    internal::FlatVertexMap adj;        // u -> index into `ranges`
-    internal::FlatVertexMap max_side;   // v -> 0 (membership only)
+    internal::FlatVertexMap roles;
     ranges.reserve(csize);
-    adj.Reset(csize);
-    max_side.Reset(csize);
+    roles.Reset(2 * csize);
     for (std::size_t i = 0; i < csize; ++i) {
       VertexId u = Access::U(chunk[i]);
       if (ranges.empty() ||
           Access::U(chunk[i - 1]) != u) {  // chunk sorted: runs are contiguous
-        adj.Put(u, static_cast<std::uint32_t>(ranges.size()));
+        roles.Add(u, (static_cast<std::uint32_t>(ranges.size()) + 1) << 1);
         ranges.emplace_back(static_cast<std::uint32_t>(i),
                             static_cast<std::uint32_t>(i + 1));
       } else {
         ranges.back().second = static_cast<std::uint32_t>(i + 1);
       }
-      max_side.Put(Access::V(chunk[i]), 0);
+      roles.Add(Access::V(chunk[i]), 1u);
     }
-    auto find_head = [&](VertexId u) {
-      std::uint32_t r = adj.Get(u);
-      return r == internal::FlatVertexMap::kEmpty ? nullptr : &ranges[r];
-    };
     auto in_max_side = [&](VertexId v) {
-      return max_side.Get(v) != internal::FlatVertexMap::kEmpty;
+      std::uint32_t r = roles.Get(v);
+      return r != internal::FlatVertexMap::kEmpty && (r & 1u) != 0;
     };
 
     // One pass over the cone stream(s), grouped by cone vertex v.
     em::Scanner<EdgeT> sa(cone_a);
     em::Scanner<EdgeT> sb;
     if (!same_cone) sb = em::Scanner<EdgeT>(cone_b);
-    std::vector<VertexId> g2, g3;  // Gamma_v split by role (u-side / w-side)
+    // Gamma_v split by role: u-side neighbours carry their resolved ranges
+    // index (no re-probe in the emit loop), w-side is membership only.
+    std::vector<std::pair<VertexId, std::uint32_t>> g2;
+    std::vector<VertexId> g3;
 
     while (sa.HasNext() || (!same_cone && sb.HasNext())) {
       VertexId v;
@@ -176,8 +192,14 @@ void PivotEnumerate(em::Context& ctx, em::Array<EdgeT> cone_a,
         EdgeT e = sa.Next();
         VertexId nbr = Access::V(e);
         ctx.AddWork(1);
-        if (find_head(nbr) != nullptr) g2.push_back(nbr);
-        if (same_cone && in_max_side(nbr)) g3.push_back(nbr);
+        // Single probe resolves both roles of nbr (u-side head, max-side
+        // member) — this runs once per cone edge per chunk, the hottest
+        // host loop of Lemma 2.
+        const std::uint32_t r = roles.Get(nbr);
+        if (r != internal::FlatVertexMap::kEmpty) {
+          if ((r >> 1) != 0) g2.emplace_back(nbr, (r >> 1) - 1);
+          if (same_cone && (r & 1u) != 0) g3.push_back(nbr);
+        }
       }
       if (!same_cone) {
         while (sb.HasNext() && Access::U(sb.Peek()) == v) {
@@ -195,10 +217,9 @@ void PivotEnumerate(em::Context& ctx, em::Array<EdgeT> cone_a,
       if (!std::is_sorted(g3.begin(), g3.end())) {
         std::sort(g3.begin(), g3.end());
       }
-      for (VertexId u : g2) {
-        const auto* range = find_head(u);
-        if (range == nullptr) continue;
-        for (std::uint32_t i = range->first; i < range->second; ++i) {
+      for (const auto& [u, ri] : g2) {
+        const auto& range = ranges[ri];
+        for (std::uint32_t i = range.first; i < range.second; ++i) {
           VertexId w = Access::V(chunk[i]);
           ctx.AddWork(1);
           if (std::binary_search(g3.begin(), g3.end(), w)) {

@@ -25,6 +25,16 @@ struct NeighborRec {
   std::uint32_t color = 0;
 };
 
+/// Order by neighbour id (the color is payload); keyed for the engine's
+/// radix run formation.
+struct NeighborByIdLess {
+  static constexpr bool kKeyComplete = true;
+  static std::uint64_t Key(const NeighborRec& r) { return r.v; }
+  bool operator()(const NeighborRec& a, const NeighborRec& b) const {
+    return a.v < b.v;
+  }
+};
+
 /// \brief Enumerates all triangles through `x` within `edges`.
 ///
 /// Preconditions: `edges` is lex-sorted with u < v per edge (the §1.3
@@ -59,9 +69,7 @@ void EnumerateTrianglesContaining(em::Context& ctx, em::Array<EdgeT> edges,
   }
   em::Array<NeighborRec> g = gw.Written();
   if (g.size() < 2) return;
-  sorter(ctx, g, [](const NeighborRec& a, const NeighborRec& b) {
-    return a.v < b.v;
-  });
+  sorter(ctx, g, NeighborByIdLess{});
 
   // (ii) E_x: edges whose smaller endpoint is in Gamma_x (merge on u; the
   // edge list is sorted by smaller endpoint already).

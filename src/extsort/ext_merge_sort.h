@@ -1,40 +1,33 @@
 // Cache-aware external merge sort: run formation with M/2-word loads followed
 // by (M/B)-way merge passes. This is the sort(n) = O((n/B) log_{M/B}(n/B))
 // primitive the paper's cache-aware algorithms (Theorems 2 and 4) rely on.
+//
+// The host-compute layers are pluggable engine pieces: run formation goes
+// through SortRun (radix on extracted keys when the comparator has them, see
+// run_formation.h) and the multiway merge through a tournament loser tree
+// (loser_tree.h). Both change host work only — the ReadTo/WriteFrom and
+// Scanner/Writer charge sequence is the one the std::sort + priority-queue
+// implementation issued, so IoStats are engine-independent (pinned by
+// tests/test_sort_engine.cc against a reference implementation).
 #ifndef TRIENUM_EXTSORT_EXT_MERGE_SORT_H_
 #define TRIENUM_EXTSORT_EXT_MERGE_SORT_H_
 
 #include <algorithm>
-#include <queue>
 #include <vector>
 
 #include "em/array.h"
+#include "extsort/io_bounds.h"
+#include "extsort/loser_tree.h"
+#include "extsort/run_formation.h"
 #include "extsort/scan_ops.h"
 
 namespace trienum::extsort {
 
-/// Predicted I/O cost of sorting n records of `words_per` words each:
-/// ceil(n*w/B) * (1 + number of merge passes) * 2 (read+write per pass).
-/// Used by tests and benches to sanity-check the substrate.
-inline double SortIoBound(std::size_t n, std::size_t words_per, std::size_t m,
-                          std::size_t b) {
-  if (n <= 1) return 0;
-  double nw = static_cast<double>(n) * static_cast<double>(words_per);
-  double runs = std::max(1.0, nw / (static_cast<double>(m) / 2));
-  double fan = std::max(2.0, static_cast<double>(m) / (2.0 * b));
-  double passes = 1.0;
-  while (runs > 1.0) {
-    runs /= fan;
-    passes += 1.0;
-  }
-  return 2.0 * passes * (nw / static_cast<double>(b) + 1.0);
-}
-
 /// \brief Sorts `data` in place with a cache-aware multiway external merge
-/// sort.
+/// sort. Stable (== std::stable_sort order under `less`).
 ///
 /// Internal-memory usage: one run buffer of at most M/2 words during run
-/// formation, and during merging one (value, run) heap of fan-in
+/// formation, and during merging one loser tree of fan-in
 /// k = max(2, M/(2B)) entries; both are accounted via scratch leases.
 template <typename T, typename Less>
 void ExternalMergeSort(em::Context& ctx, em::Array<T> data, Less less) {
@@ -45,26 +38,31 @@ void ExternalMergeSort(em::Context& ctx, em::Array<T> data, Less less) {
   auto region = ctx.Region();
 
   // --- Run formation -------------------------------------------------------
+  // Run boundaries are host bookkeeping, O(n/run_items) words: metadata of
+  // the same order as the number of runs, standard for EM sorting.
   const std::size_t run_items =
       std::max<std::size_t>(1, (ctx.memory_words() / 2) / words_per);
   em::Array<T> ping = ctx.Alloc<T>(n);
+  std::vector<std::pair<std::size_t, std::size_t>> runs;
+  runs.reserve((n + run_items - 1) / run_items);
   {
-    em::ScratchLease lease = ctx.LeaseScratch(run_items * words_per);
+    // 2x the run — together exactly M, the model's internal-memory budget —
+    // covering the load buffer plus run formation's scratch down every
+    // path: the direct-scatter ping-pong copy (records <= 24 B), the
+    // (key, index) pair arrays of the wide-record path (4 words/record, at
+    // most the records' own width there; the permutation applies in place),
+    // or std::stable_sort's internal temp buffer on the keyless fallback.
+    em::ScratchLease lease = ctx.LeaseScratch(2 * run_items * words_per);
     std::vector<T> buf(std::min(run_items, n));
+    RunScratch<T> rs;
     for (std::size_t lo = 0; lo < n; lo += run_items) {
       std::size_t hi = std::min(n, lo + run_items);
       data.ReadTo(lo, hi, buf.data());
-      std::sort(buf.begin(), buf.begin() + (hi - lo), less);
+      SortRun(buf.data(), hi - lo, rs, less);
       ctx.AddWork((hi - lo) * 4);
       ping.WriteFrom(lo, hi, buf.data());
+      runs.emplace_back(lo, hi);
     }
-  }
-
-  // Run boundaries (host bookkeeping, O(n/run_items) words: this is metadata
-  // of the same order as the number of runs, standard for EM sorting).
-  std::vector<std::pair<std::size_t, std::size_t>> runs;
-  for (std::size_t lo = 0; lo < n; lo += run_items) {
-    runs.emplace_back(lo, std::min(n, lo + run_items));
   }
 
   const std::size_t fan =
@@ -80,33 +78,33 @@ void ExternalMergeSort(em::Context& ctx, em::Array<T> data, Less less) {
       std::size_t g_end = std::min(runs.size(), g + fan);
       std::size_t out_lo = out.count();
 
-      em::ScratchLease lease = ctx.LeaseScratch((g_end - g) * (words_per + 2));
+      // The loser tree pads its sources to a power of two; lease the padded
+      // size (value slot + tie flag + loser node per leaf fits words_per+2).
+      std::size_t cap2 = 1;
+      while (cap2 < g_end - g) cap2 <<= 1;
+      em::ScratchLease lease = ctx.LeaseScratch(cap2 * (words_per + 2));
       std::vector<em::Scanner<T>> streams;
       streams.reserve(g_end - g);
       for (std::size_t r = g; r < g_end; ++r) {
         streams.emplace_back(src, runs[r].first, runs[r].second);
       }
-      // (element, stream) min-heap.
-      auto heap_less = [&less](const std::pair<T, std::size_t>& a,
-                               const std::pair<T, std::size_t>& b) {
-        return less(b.first, a.first);  // max-heap inverted
-      };
-      std::vector<std::pair<T, std::size_t>> heap;
+      LoserTree<T, Less> tree(streams.size(), less);
       for (std::size_t s = 0; s < streams.size(); ++s) {
-        if (streams[s].HasNext()) heap.emplace_back(streams[s].Next(), s);
+        if (streams[s].HasNext()) tree.SetInitial(s, streams[s].Next());
       }
-      std::make_heap(heap.begin(), heap.end(), heap_less);
-      while (!heap.empty()) {
-        std::pop_heap(heap.begin(), heap.end(), heap_less);
-        auto [v, s] = heap.back();
-        heap.pop_back();
-        out.Push(v);
-        ctx.AddWork(4);
+      tree.Init();
+      std::size_t merged = 0;
+      while (tree.HasWinner()) {
+        const std::size_t s = tree.WinnerSource();
+        out.Push(tree.WinnerValue());
+        ++merged;
         if (streams[s].HasNext()) {
-          heap.emplace_back(streams[s].Next(), s);
-          std::push_heap(heap.begin(), heap.end(), heap_less);
+          tree.ReplaceWinner(streams[s].Next());
+        } else {
+          tree.ExhaustWinner();
         }
       }
+      ctx.AddWork(merged * 4);
       next_runs.emplace_back(out_lo, out.count());
     }
     out.Flush();  // pending records must land before the next pass reads them

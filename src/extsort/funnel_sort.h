@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "em/array.h"
+#include "extsort/run_formation.h"
 #include "extsort/scan_ops.h"
 
 namespace trienum::extsort {
@@ -203,6 +204,9 @@ class FunnelMerger {
       } else {
         T lv = PeekNode(nd.left);
         T rv = PeekNode(nd.right);
+        // One-call form of the k = 2 loser-tree winner rule WinsOver(rv, lv,
+        // 1, 0): strict less wins, ties to the left/earlier source — funnel
+        // output matches the engine's stable-merge order.
         pick = less_(rv, lv) ? nd.right : nd.left;
       }
       T v = PeekNode(pick);
@@ -273,7 +277,7 @@ class FunnelMerger {
       } else {
         const T& lv = PeekNodeRef(nd.left);
         const T& rv = PeekNodeRef(nd.right);
-        pick = less_(rv, lv) ? nd.right : nd.left;
+        pick = less_(rv, lv) ? nd.right : nd.left;  // k = 2 winner rule
       }
       T v = PeekNodeRef(pick);
       PopNodeRef(pick);
@@ -297,19 +301,25 @@ class FunnelMerger {
 
 }  // namespace internal
 
-/// \brief Sorts `data` in place, cache-obliviously (lazy funnelsort).
+namespace internal {
+
 template <typename T, typename Less>
-void FunnelSort(em::Context& ctx, em::Array<T> data, Less less) {
+void FunnelSortImpl(em::Context& ctx, em::Array<T> data, Less less,
+                    std::vector<T>& base_buf) {
   const std::size_t n = data.size();
   if (n <= 1) return;
   if (n <= kFunnelBaseSize) {
     em::ScratchLease lease =
         ctx.LeaseScratch(kFunnelBaseSize * em::Array<T>::kWordsPer);
-    std::vector<T> buf(n);
-    data.ReadTo(0, n, buf.data());
-    std::sort(buf.begin(), buf.end(), less);
+    if (base_buf.size() < n) base_buf.resize(n);
+    data.ReadTo(0, n, base_buf.data());
+    // The engine's in-place stable kernel (run_formation.h): no scratch
+    // beyond the leased base buffer — at tiny M the O(1) lease is already
+    // close to the budget — and the stability contract of the big sorts
+    // holds here too. The I/O around it is unchanged.
+    internal::InsertionSort(base_buf.data(), n, less);
     ctx.AddWork(n * 4);
-    data.WriteFrom(0, n, buf.data());
+    data.WriteFrom(0, n, base_buf.data());
     return;
   }
 
@@ -322,7 +332,7 @@ void FunnelSort(em::Context& ctx, em::Array<T> data, Less less) {
     segs.emplace_back(lo, std::min(n, lo + seg));
   }
   for (const auto& [lo, hi] : segs) {
-    FunnelSort(ctx, data.Slice(lo, hi - lo), less);
+    FunnelSortImpl(ctx, data.Slice(lo, hi - lo), less, base_buf);
   }
 
   // Merge the sorted segments with a k-funnel into fresh space, then copy
@@ -335,6 +345,18 @@ void FunnelSort(em::Context& ctx, em::Array<T> data, Less less) {
   w.Flush();  // `out` is read below while `w` is still alive
   TRIENUM_CHECK(w.count() == n);
   Copy(out, data);
+}
+
+}  // namespace internal
+
+/// \brief Sorts `data` in place, cache-obliviously (lazy funnelsort).
+/// Stable (== std::stable_sort order under `less`): base cases run the
+/// engine's stable run formation and the mergers use the stable winner rule.
+template <typename T, typename Less>
+void FunnelSort(em::Context& ctx, em::Array<T> data, Less less) {
+  // One host buffer shared across every base case of the recursion.
+  std::vector<T> base_buf;
+  internal::FunnelSortImpl(ctx, data, less, base_buf);
 }
 
 }  // namespace trienum::extsort

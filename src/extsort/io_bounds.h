@@ -1,0 +1,32 @@
+// Predicted I/O cost of the sorting substrate, separated from the sort
+// implementation so that code which only *prices* I/O (benches, bound
+// checks, `dementiev.cc`'s sort(E^{3/2}) citation) does not pull in the
+// whole engine.
+#ifndef TRIENUM_EXTSORT_IO_BOUNDS_H_
+#define TRIENUM_EXTSORT_IO_BOUNDS_H_
+
+#include <algorithm>
+#include <cstddef>
+
+namespace trienum::extsort {
+
+/// Predicted I/O cost of sorting n records of `words_per` words each:
+/// ceil(n*w/B) * (1 + number of merge passes) * 2 (read+write per pass).
+/// Used by tests and benches to sanity-check the substrate.
+inline double SortIoBound(std::size_t n, std::size_t words_per, std::size_t m,
+                          std::size_t b) {
+  if (n <= 1) return 0;
+  double nw = static_cast<double>(n) * static_cast<double>(words_per);
+  double runs = std::max(1.0, nw / (static_cast<double>(m) / 2));
+  double fan = std::max(2.0, static_cast<double>(m) / (2.0 * b));
+  double passes = 1.0;
+  while (runs > 1.0) {
+    runs /= fan;
+    passes += 1.0;
+  }
+  return 2.0 * passes * (nw / static_cast<double>(b) + 1.0);
+}
+
+}  // namespace trienum::extsort
+
+#endif  // TRIENUM_EXTSORT_IO_BOUNDS_H_

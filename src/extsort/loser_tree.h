@@ -1,0 +1,122 @@
+// Merge layer of the sort engine: a cache-friendly tournament loser tree.
+//
+// Replacing the (value, stream) binary heap of the multiway merge: popping a
+// heap costs a sift-down *and* the following push a sift-up, each moving
+// pair-sized entries around a pointer-chased array. A loser tree replays one
+// leaf-to-root path of log2(k) comparisons per emitted record, values stay
+// put in a flat per-source slot array, and the internal nodes are a flat
+// uint32 vector that fits in a cache line or two for any realistic fan-in.
+//
+// Tie-breaking is by source index (lower source wins), which makes the merge
+// *stable*: combined with stable run formation (run i precedes run j on
+// stream i < j), the whole external merge sort is a stable sort — the
+// determinism contract the differential suite pins against a stable
+// reference merge.
+#ifndef TRIENUM_EXTSORT_LOSER_TREE_H_
+#define TRIENUM_EXTSORT_LOSER_TREE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace trienum::extsort {
+
+/// Winner rule shared by the loser tree and the funnel's binary mergers
+/// (a k-funnel's base case is exactly the k = 2 loser tree): strict `less`
+/// wins, ties go to the lower source index.
+template <typename T, typename Less>
+inline bool WinsOver(const T& a, const T& b, std::size_t ia, std::size_t ib,
+                     Less less) {
+  if (less(a, b)) return true;
+  if (less(b, a)) return false;
+  return ia < ib;
+}
+
+/// \brief Stable k-way tournament tree over pull-style sources.
+///
+/// Usage: SetInitial(s, v) for every non-empty source, Init(), then loop
+/// { read WinnerSource()/WinnerValue(), consume it, ReplaceWinner(next) or
+/// ExhaustWinner() } while HasWinner().
+template <typename T, typename Less>
+class LoserTree {
+ public:
+  LoserTree(std::size_t k, Less less) : less_(less) {
+    cap_ = 1;
+    while (cap_ < k) cap_ <<= 1;
+    entries_.resize(cap_);
+    loser_.assign(cap_, 0);
+  }
+
+  /// Seeds source `s` with its first value (call before Init).
+  void SetInitial(std::size_t s, const T& v) {
+    entries_[s].v = v;
+    entries_[s].alive = true;
+  }
+
+  /// Plays the initial tournament.
+  void Init() { winner_ = cap_ == 1 ? 0 : InitNode(1); }
+
+  bool HasWinner() const { return entries_[winner_].alive; }
+  std::size_t WinnerSource() const { return winner_; }
+  const T& WinnerValue() const { return entries_[winner_].v; }
+
+  /// The winner's source produced its next value; replay its path.
+  void ReplaceWinner(const T& v) {
+    entries_[winner_].v = v;
+    Replay();
+  }
+
+  /// The winner's source is drained; replay its path.
+  void ExhaustWinner() {
+    entries_[winner_].alive = false;
+    Replay();
+  }
+
+ private:
+  struct Entry {
+    T v{};
+    bool alive = false;
+  };
+
+  bool Wins(std::uint32_t a, std::uint32_t b) const {
+    const Entry& ea = entries_[a];
+    const Entry& eb = entries_[b];
+    if (!eb.alive) return true;
+    if (!ea.alive) return false;
+    return WinsOver(ea.v, eb.v, a, b, less_);
+  }
+
+  /// Bottom-up initial matches; internal node `node` stores the loser of
+  /// its subtree's final, the winner bubbles up.
+  std::uint32_t InitNode(std::uint32_t node) {
+    if (node >= cap_) return node - cap_;
+    std::uint32_t l = InitNode(2 * node);
+    std::uint32_t r = InitNode(2 * node + 1);
+    if (Wins(l, r)) {
+      loser_[node] = r;
+      return l;
+    }
+    loser_[node] = l;
+    return r;
+  }
+
+  /// Replays the matches on the ex-winner's leaf-to-root path.
+  void Replay() {
+    std::uint32_t w = winner_;
+    for (std::uint32_t node = (cap_ + w) >> 1; node >= 1; node >>= 1) {
+      if (Wins(loser_[node], w)) std::swap(loser_[node], w);
+    }
+    winner_ = w;
+  }
+
+  Less less_;
+  std::size_t cap_ = 1;                // leaves, padded to a power of two
+  std::vector<Entry> entries_;         // per-source current value slots
+  std::vector<std::uint32_t> loser_;   // internal nodes [1, cap_)
+  std::uint32_t winner_ = 0;
+
+};
+
+}  // namespace trienum::extsort
+
+#endif  // TRIENUM_EXTSORT_LOSER_TREE_H_

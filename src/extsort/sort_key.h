@@ -1,0 +1,82 @@
+// Trait layer of the sort engine: comparators opt into radix run formation
+// by exposing an order-preserving 64-bit key.
+//
+// Protocol — a comparator `Less` over records `T` may declare
+//
+//   static std::uint64_t Key(const T& rec);   // less(a,b) implies Key(a) <= Key(b)
+//   static constexpr bool kKeyComplete;       // Key(a) == Key(b) implies a, b
+//                                             // are equivalent under less
+//
+// With a *complete* key the radix pass alone establishes the order; with a
+// *prefix* key (kKeyComplete == false, e.g. a 128-bit order truncated to its
+// leading color pair) run formation radix-sorts on the key and finishes
+// equal-key runs with the comparator. Comparators without a Key fall back to
+// a comparison sort (`KeyLess` path) — nothing in the engine requires keys,
+// they only make it faster. Every path is deterministically stable, so the
+// engine's contract is: output == std::stable_sort under `less` (asserted by
+// tests/test_sort_engine.cc).
+//
+// The engine reads the protocol through SortKeyTraits, which also grants
+// `std::less` over unsigned integral records the identity key — plain
+// `std::less<std::uint64_t>` sorts radix for free.
+#ifndef TRIENUM_EXTSORT_SORT_KEY_H_
+#define TRIENUM_EXTSORT_SORT_KEY_H_
+
+#include <cstdint>
+#include <functional>
+#include <type_traits>
+#include <utility>
+
+namespace trienum::extsort {
+
+/// Compile-time view of a comparator's key protocol (primary template: no
+/// key — the comparison-sort fallback).
+template <typename Less, typename T, typename = void>
+struct SortKeyTraits {
+  static constexpr bool kHasKey = false;
+  static constexpr bool kComplete = false;
+};
+
+template <typename Less, typename T>
+struct SortKeyTraits<
+    Less, T, std::void_t<decltype(Less::Key(std::declval<const T&>()))>> {
+  static constexpr bool kHasKey =
+      std::is_same_v<decltype(Less::Key(std::declval<const T&>())),
+                     std::uint64_t>;
+  static constexpr bool kComplete = Less::kKeyComplete;
+  static std::uint64_t Key(const T& rec) { return Less::Key(rec); }
+};
+
+/// `std::less` (and transparent `std::less<>`) over unsigned integral
+/// records: the value is its own complete key.
+template <typename Less, typename T>
+struct SortKeyTraits<
+    Less, T,
+    std::enable_if_t<(std::is_same_v<Less, std::less<T>> ||
+                      std::is_same_v<Less, std::less<>>)&&std::is_unsigned_v<T> &&
+                     sizeof(T) <= sizeof(std::uint64_t)>> {
+  static constexpr bool kHasKey = true;
+  static constexpr bool kComplete = true;
+  static std::uint64_t Key(const T& v) { return v; }
+};
+
+/// Packs a (hi, lo) 32-bit pair into one radix key; the workhorse for every
+/// two-field lexicographic order over 32-bit ids.
+inline std::uint64_t PackKey(std::uint32_t hi, std::uint32_t lo) {
+  return (static_cast<std::uint64_t>(hi) << 32) | lo;
+}
+
+/// Ascending order on unsigned integral records with the identity key — the
+/// keyed replacement for `std::less` / `a < b` lambdas on u64/u32 arrays.
+template <typename T>
+struct ValueLess {
+  static_assert(std::is_unsigned_v<T> && sizeof(T) <= sizeof(std::uint64_t),
+                "ValueLess keys unsigned records of at most 64 bits");
+  static constexpr bool kKeyComplete = true;
+  bool operator()(T a, T b) const { return a < b; }
+  static std::uint64_t Key(const T& v) { return v; }
+};
+
+}  // namespace trienum::extsort
+
+#endif  // TRIENUM_EXTSORT_SORT_KEY_H_

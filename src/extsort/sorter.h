@@ -3,6 +3,13 @@
 // cache-aware algorithms plug in the multiway merge sort, the cache-oblivious
 // algorithm plugs in funnelsort. Passing the policy as a template parameter
 // keeps the cache-oblivious code path free of any M/B-dependent choice.
+//
+// Both policies sit on the same layered engine: trait-driven key extraction
+// (sort_key.h) feeds radix run formation (run_formation.h), and merging goes
+// through the stable loser-tree winner rule (loser_tree.h) — so a comparator
+// converted to the key protocol speeds up every algorithm through either
+// policy at once. Signatures are unchanged; callers of RunLemma1 /
+// PivotEnumerate / WedgeJoinEnumerate ride along for free.
 #ifndef TRIENUM_EXTSORT_SORTER_H_
 #define TRIENUM_EXTSORT_SORTER_H_
 

@@ -4,6 +4,7 @@
 
 #include "extsort/ext_merge_sort.h"
 #include "extsort/scan_ops.h"
+#include "extsort/sort_key.h"
 
 namespace trienum::graph {
 namespace {
@@ -18,6 +19,24 @@ struct DegRec {
 struct MapRec {
   VertexId old_id = 0;
   VertexId new_id = 0;
+};
+
+/// Degree-rank order (deg, v): position after this sort is the new id.
+struct DegRankLess {
+  static constexpr bool kKeyComplete = true;
+  static std::uint64_t Key(const DegRec& d) { return extsort::PackKey(d.deg, d.v); }
+  bool operator()(const DegRec& a, const DegRec& b) const {
+    return std::tie(a.deg, a.v) < std::tie(b.deg, b.v);
+  }
+};
+
+/// Relabeling-table order by old id (old ids are unique after dedup).
+struct ByOldIdLess {
+  static constexpr bool kKeyComplete = true;
+  static std::uint64_t Key(const MapRec& m) { return m.old_id; }
+  bool operator()(const MapRec& a, const MapRec& b) const {
+    return a.old_id < b.old_id;
+  }
 };
 
 }  // namespace
@@ -66,8 +85,7 @@ EmGraph NormalizeEdges(em::Context& ctx, em::Array<Edge> raw,
       out.Push(e.v);
     }
   }
-  extsort::ExternalMergeSort(ctx, ends,
-                             [](VertexId a, VertexId b) { return a < b; });
+  extsort::ExternalMergeSort(ctx, ends, extsort::ValueLess<VertexId>{});
   em::Array<DegRec> dv = ctx.Alloc<DegRec>(2 * m);
   em::Writer<DegRec> dvw(dv);
   {
@@ -90,9 +108,7 @@ EmGraph NormalizeEdges(em::Context& ctx, em::Array<Edge> raw,
   VertexId nv = static_cast<VertexId>(degs.size());
 
   // 4. Degree rank: sort by (degree, id); position becomes the new id.
-  extsort::ExternalMergeSort(ctx, degs, [](const DegRec& a, const DegRec& b) {
-    return std::tie(a.deg, a.v) < std::tie(b.deg, b.v);
-  });
+  extsort::ExternalMergeSort(ctx, degs, DegRankLess{});
 
   // 5. Relabeling table sorted by old id.
   em::Array<MapRec> map = ctx.Alloc<MapRec>(nv);
@@ -102,9 +118,7 @@ EmGraph NormalizeEdges(em::Context& ctx, em::Array<Edge> raw,
     VertexId i = 0;
     while (in.HasNext()) out.Push(MapRec{in.Next().v, i++});
   }
-  extsort::ExternalMergeSort(ctx, map, [](const MapRec& a, const MapRec& b) {
-    return a.old_id < b.old_id;
-  });
+  extsort::ExternalMergeSort(ctx, map, ByOldIdLess{});
 
   // 6. Relabel edges with two merge-join passes (edges sorted by u, then v).
   {
@@ -120,9 +134,8 @@ EmGraph NormalizeEdges(em::Context& ctx, em::Array<Edge> raw,
     }
     out.Flush();
   }
-  extsort::ExternalMergeSort(ctx, edges, [](const Edge& a, const Edge& b) {
-    return std::tie(a.v, a.u) < std::tie(b.v, b.u);
-  });
+  // (v, u) order == ByMaxLess, which carries the packed radix key.
+  extsort::ExternalMergeSort(ctx, edges, ByMaxLess{});
   {
     em::Scanner<MapRec> ms(map);
     em::Scanner<Edge> in(edges);

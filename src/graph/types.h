@@ -9,6 +9,8 @@
 #include <cstdint>
 #include <tuple>
 
+#include "extsort/sort_key.h"
+
 namespace trienum::graph {
 
 using VertexId = std::uint32_t;
@@ -75,8 +77,18 @@ struct EdgeAccess<ColoredEdge> {
 };
 
 /// Lexicographic (u, v) order; the canonical on-disk order of §1.3 ("these
-/// tuples are sorted lexicographically").
+/// tuples are sorted lexicographically"). The comparators below implement
+/// the sort engine's Key/kKeyComplete protocol (extsort/sort_key.h) with
+/// extsort::PackKey packing the two 32-bit ids.
 struct LexLess {
+  /// (u, v) is the full order, so the packed key is complete: equal keys
+  /// mean comparator-equivalent records.
+  static constexpr bool kKeyComplete = true;
+  template <typename E>
+  static std::uint64_t Key(const E& e) {
+    using A = EdgeAccess<E>;
+    return extsort::PackKey(A::U(e), A::V(e));
+  }
   template <typename E>
   bool operator()(const E& a, const E& b) const {
     using A = EdgeAccess<E>;
@@ -87,11 +99,32 @@ struct LexLess {
 
 /// Order by larger endpoint, then smaller (used by Lemma 1's second pass).
 struct ByMaxLess {
+  static constexpr bool kKeyComplete = true;
+  template <typename E>
+  static std::uint64_t Key(const E& e) {
+    using A = EdgeAccess<E>;
+    return extsort::PackKey(A::V(e), A::U(e));
+  }
   template <typename E>
   bool operator()(const E& a, const E& b) const {
     using A = EdgeAccess<E>;
     VertexId au = A::U(a), av = A::V(a), bu = A::U(b), bv = A::V(b);
     return av != bv ? av < bv : au < bu;
+  }
+};
+
+/// Color-class order (cu, cv, u, v): groups a colored edge list by class,
+/// ids inside a class — the bucket-sort order of §2 step 2, the §4
+/// derandomizer's class grouping, and the 4-clique bucketing. The 128-bit
+/// order radix-sorts on its leading (cu, cv) key; the engine finishes
+/// equal-class runs with the comparator (kKeyComplete == false).
+struct ColorClassLess {
+  static constexpr bool kKeyComplete = false;
+  static std::uint64_t Key(const ColoredEdge& e) {
+    return extsort::PackKey(e.cu, e.cv);
+  }
+  bool operator()(const ColoredEdge& a, const ColoredEdge& b) const {
+    return std::tie(a.cu, a.cv, a.u, a.v) < std::tie(b.cu, b.cv, b.u, b.v);
   }
 };
 

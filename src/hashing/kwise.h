@@ -60,6 +60,25 @@ class FourWiseHash {
     return static_cast<std::uint32_t>((*this)(x)&1u);
   }
 
+  /// Both refinement bits of an edge's endpoints in one batched evaluation:
+  /// Bit(x) | Bit(y) << 1. The two Horner chains are interleaved so their
+  /// independent multiply trees pipeline instead of serializing — the §3
+  /// recursion evaluates this once per record per node, its hottest hashing
+  /// site.
+  std::uint32_t PairBits(std::uint64_t x, std::uint64_t y) const {
+    std::uint64_t xm = x < kMersenne61 ? x : x % kMersenne61;
+    std::uint64_t ym = y < kMersenne61 ? y : y % kMersenne61;
+    std::uint64_t hx = a_[3];
+    std::uint64_t hy = a_[3];
+    hx = AddMod61(MulMod61(hx, xm), a_[2]);
+    hy = AddMod61(MulMod61(hy, ym), a_[2]);
+    hx = AddMod61(MulMod61(hx, xm), a_[1]);
+    hy = AddMod61(MulMod61(hy, ym), a_[1]);
+    hx = AddMod61(MulMod61(hx, xm), a_[0]);
+    hy = AddMod61(MulMod61(hy, ym), a_[0]);
+    return static_cast<std::uint32_t>((hx & 1u) | ((hy & 1u) << 1));
+  }
+
   /// Color in [0, c) for power-of-two c (low bits of the hash).
   std::uint32_t Color(std::uint64_t x, std::uint32_t c_pow2) const {
     return static_cast<std::uint32_t>((*this)(x) & (c_pow2 - 1));
