@@ -1,0 +1,30 @@
+// Applies TRIENUM_BENCH_THREADS to the par pool before google-benchmark's
+// main() runs, so the thread count run_benches.sh stamps into every
+// BENCH_*.json context is the one the benches actually executed with.
+// Unset means the pool default (1, fully serial); "0" means all hardware
+// cores, matching the CLI's --threads semantics. bench_parallel's explicit
+// per-case ScopedThreads sweeps override this for their own rows and report
+// the real value as a `threads` counter.
+//
+// Included by bench_util.h and by the standalone benches that skip it, so
+// every bench binary honors the variable.
+#ifndef TRIENUM_BENCH_BENCH_THREADS_H_
+#define TRIENUM_BENCH_BENCH_THREADS_H_
+
+#include <cstdlib>
+
+#include "par/par_config.h"
+
+namespace trienum::bench::internal {
+
+[[maybe_unused]] static const bool kBenchThreadsApplied = [] {
+  if (const char* env = std::getenv("TRIENUM_BENCH_THREADS")) {
+    par::SetThreads(
+        static_cast<std::size_t>(std::strtoull(env, nullptr, 10)));
+  }
+  return true;
+}();
+
+}  // namespace trienum::bench::internal
+
+#endif  // TRIENUM_BENCH_BENCH_THREADS_H_

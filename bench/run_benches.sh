@@ -6,6 +6,11 @@
 #   $ cmake -B build -S . -DTRIENUM_BUILD_BENCHMARKS=ON
 #   $ cmake --build build -j
 #   $ bench/run_benches.sh [build-dir] [out-dir] [extra benchmark args...]
+#
+# Every emitted JSON's context records the host core count and the default
+# par-pool thread count (TRIENUM_BENCH_THREADS, default 1) so the committed
+# trajectory stays comparable across machines; bench_parallel additionally
+# sweeps explicit per-case thread counts as a `threads` counter.
 set -euo pipefail
 
 build_dir="${1:-build}"
@@ -41,7 +46,7 @@ for bin in "${bench_dir}"/bench_*; do
   # google-benchmark's real_time so the committed perf trajectory always has
   # a comparable wall-clock column.
   python3 - "${out}" <<'PYEOF'
-import json, sys
+import json, os, sys
 path = sys.argv[1]
 with open(path) as f:
     doc = json.load(f)
@@ -49,6 +54,11 @@ scale = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
 for b in doc.get("benchmarks", []):
     if "wall_ms" not in b:
         b["wall_ms"] = b.get("real_time", 0.0) * scale.get(b.get("time_unit", "ns"), 1e-6)
+# Parallel-scaling provenance: how many cores this machine has and what the
+# pool default was (per-case sweeps report their own `threads` counter).
+ctx = doc.setdefault("context", {})
+ctx["host_cores"] = os.cpu_count() or 1
+ctx["threads"] = int(os.environ.get("TRIENUM_BENCH_THREADS", "1"))
 with open(path, "w") as f:
     json.dump(doc, f, indent=1)
 missing = [b["name"] for b in doc.get("benchmarks", []) if "wall_ms" not in b]

@@ -76,6 +76,13 @@ void EnumerateCacheAware(em::Context& ctx, const graph::EmGraph& g,
 
   // Colors attached once (stored with the edge, then stripped after the
   // bucket sort so step 3 streams one-word edges as the paper assumes).
+  // The transform stays fused (read, color, push per record): its Scanner
+  // reads interleave with Writer flushes, and that interleaving is part of
+  // the pinned LRU charge sequence — batching reads ahead of the writes
+  // would perturb IoStats under capacity pressure. Parallelism enters this
+  // algorithm through charge-safe windows instead: run formation inside
+  // the ExternalMergeSort below and the Lemma 2 cone probes of step 3
+  // (see pivot_enum.h), both invariant in the thread count.
   em::Array<ColoredEdge> colored = ctx.Alloc<ColoredEdge>(wlen);
   extsort::Transform(low, colored, [&](const Edge& e) {
     return ColoredEdge{e.u, e.v, color(e.u), color(e.v)};

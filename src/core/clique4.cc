@@ -1,6 +1,7 @@
 #include "core/clique4.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <unordered_set>
 
@@ -12,6 +13,7 @@
 #include "extsort/scan_ops.h"
 #include "graph/host_graph.h"
 #include "hashing/kwise.h"
+#include "par/thread_pool.h"
 
 namespace trienum::core {
 namespace {
@@ -68,17 +70,45 @@ class QuadRecursor {
         slots[i].ReadTo(0, slots[i].size(), tmp.data());
         for (const Edge& e : tmp) has.insert(PackEdge(e.u, e.v));
       }
-      for (const Edge& e12 : b12) {
-        for (const Edge& e34 : b34) {
-          ctx_.AddWork(1);
-          if (e12.v >= e34.u) continue;  // enforce v2 < v3
-          if (has.count(PackEdge(e12.u, e34.u)) != 0 &&
-              has.count(PackEdge(e12.u, e34.v)) != 0 &&
-              has.count(PackEdge(e12.v, e34.u)) != 0 &&
-              has.count(PackEdge(e12.v, e34.v)) != 0) {
-            sink_.Emit4(e12.u, e12.v, e34.u, e34.v);
+      // The pair join is pure host work on the staged copies — everything
+      // below runs after the slots' charged reads and emits straight to the
+      // sink, so it fans out over the par pool: contiguous b12 row blocks
+      // per worker, per-worker emit buffers flushed in partition order.
+      // Emission order and the work counter are identical to the fused
+      // serial loop (kept below for the default threads=1).
+      ctx_.AddWork(b12.size() * b34.size());
+      auto match = [&](const Edge& e12, const Edge& e34) {
+        return e12.v < e34.u &&  // enforce v2 < v3
+               has.count(PackEdge(e12.u, e34.u)) != 0 &&
+               has.count(PackEdge(e12.u, e34.v)) != 0 &&
+               has.count(PackEdge(e12.v, e34.u)) != 0 &&
+               has.count(PackEdge(e12.v, e34.v)) != 0;
+      };
+      const std::size_t parts = par::PartsFor(
+          b12.size() * b34.size(), par::Threads(), kJoinGrainPairs);
+      if (parts <= 1) {
+        for (const Edge& e12 : b12) {
+          for (const Edge& e34 : b34) {
+            if (match(e12, e34)) sink_.Emit4(e12.u, e12.v, e34.u, e34.v);
           }
         }
+        return;
+      }
+      std::vector<std::vector<std::array<VertexId, 4>>> bufs(parts);
+      par::ParallelFor(parts, 1, [&](std::size_t k0, std::size_t k1) {
+        for (std::size_t k = k0; k < k1; ++k) {
+          const par::Range rows = par::PartRange(b12.size(), parts, k);
+          for (std::size_t i = rows.lo; i < rows.hi; ++i) {
+            for (const Edge& e34 : b34) {
+              if (match(b12[i], e34)) {
+                bufs[k].push_back({b12[i].u, b12[i].v, e34.u, e34.v});
+              }
+            }
+          }
+        }
+      });
+      for (const auto& buf : bufs) {
+        for (const auto& q : buf) sink_.Emit4(q[0], q[1], q[2], q[3]);
       }
       return;
     }
@@ -99,6 +129,11 @@ class QuadRecursor {
         em::Array<Edge> out = ctx_.Alloc<Edge>(slots[s].size());
         em::Writer<Edge> w(out);
         em::Scanner<Edge> in(slots[s]);
+        // The refine scan stays fused (read, hash, push per record): its
+        // reads interleave with the child Writer's flushes, and that
+        // interleaving is part of the pinned LRU charge sequence. The
+        // parallel window of this algorithm is the in-memory join above —
+        // charge-free between its staging reads and its emissions.
         while (in.HasNext()) {
           Edge e = in.Next();
           ctx_.AddWork(1);
@@ -111,6 +146,11 @@ class QuadRecursor {
       if (viable) Solve(child, depth + 1);
     }
   }
+
+  /// Candidate pairs per pool partition below which the in-memory join
+  /// stays serial (a hash-set probe is tens of nanoseconds; a partition
+  /// must amortize the fork/join handshake).
+  static constexpr std::size_t kJoinGrainPairs = std::size_t{1} << 12;
 
  private:
   em::Context& ctx_;

@@ -15,16 +15,29 @@
 //     (tau2,tau3) — which makes the paper's "ignore triangles whose cone
 //     vertex is not colored tau1" a structural no-op;
 //   * ablation benches sweeping the chunk fraction alpha.
+//
+// Two loop engines share the chunk loading and indexing:
+//   * serial (threads=1, the default): the fused probe-as-you-scan loop —
+//     kept verbatim as its own small function so its codegen is untouched
+//     by the pool machinery;
+//   * pooled (par::SetThreads(N > 1)): neighbour collection issues the
+//     exact same Peek/Next charge sequence, then the role probes and the
+//     resident-run membership tests — pure reads of chunk-resident state —
+//     fan out over stable partitions with per-worker emit buffers flushed
+//     in partition order. Output order, IoStats and work counters are
+//     identical to the serial engine (pinned by tests/test_parallel.cc).
 #ifndef TRIENUM_CORE_PIVOT_ENUM_H_
 #define TRIENUM_CORE_PIVOT_ENUM_H_
 
 #include <algorithm>
+#include <cstdint>
 #include <utility>
 #include <vector>
 
 #include "core/sink.h"
 #include "em/array.h"
 #include "graph/types.h"
+#include "par/thread_pool.h"
 
 namespace trienum::core {
 namespace internal {
@@ -34,7 +47,8 @@ namespace internal {
 /// probed millions of times per run; a flat table beats both
 /// std::unordered_map (per-node mallocs, bucket chasing) and binary search
 /// (log-n mispredicted branches) on this hot path. Host-side only: no effect
-/// on I/O accounting.
+/// on I/O accounting. Concurrent Get from pool workers is safe once the
+/// build (Put/Add) phase is done.
 class FlatVertexMap {
  public:
   static constexpr std::uint32_t kEmpty = 0xFFFFFFFFu;
@@ -75,6 +89,26 @@ class FlatVertexMap {
     return kEmpty;
   }
 
+  /// Raw-pointer read view. The probe loops call Get millions of times
+  /// between opaque calls (sink emission, work accounting); a by-value View
+  /// lets the compiler keep the table pointers and mask in registers
+  /// instead of reloading them after every such call. Invalidated by Reset.
+  struct View {
+    const graph::VertexId* keys;
+    const std::uint32_t* vals;
+    std::uint32_t mask;
+
+    std::uint32_t Get(graph::VertexId key) const {
+      std::uint32_t i = (static_cast<std::uint32_t>(key) * 0x9E3779B1u) & mask;
+      while (vals[i] != kEmpty) {
+        if (keys[i] == key) return vals[i];
+        i = (i + 1) & mask;
+      }
+      return kEmpty;
+    }
+  };
+  View view() const { return View{keys_.data(), vals_.data(), mask_}; }
+
  private:
   std::uint32_t Hash(graph::VertexId key) const {
     return (static_cast<std::uint32_t>(key) * 0x9E3779B1u) & mask_;
@@ -84,6 +118,272 @@ class FlatVertexMap {
   std::vector<std::uint32_t> vals_;
   std::uint32_t mask_ = 0;
 };
+
+/// Probes per pool partition below which the pooled engine's batches stay
+/// serial: a flat-map lookup or a binary search is tens of nanoseconds, so
+/// a partition must amortize the fork/join handshake.
+inline constexpr std::size_t kPivotParGrain = std::size_t{1} << 11;
+
+/// One resident pivot chunk with its host-side index: the sorted chunk, the
+/// per-u run table, and the role map. Shared by both loop engines.
+template <typename EdgeT>
+struct ResidentChunk {
+  using Access = graph::EdgeAccess<EdgeT>;
+
+  std::vector<EdgeT> chunk;
+  /// Each distinct smaller-endpoint u's [first, last) run in `chunk`.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> ranges;
+  /// Payload bit 0: max-side membership; bits 1+: 1 + `ranges` index of the
+  /// vertex's u-side run. (The packed payload would alias the empty
+  /// sentinel only at 2^30 resident ranges; chunks are capped at M/(w+6)
+  /// records, orders of magnitude below.)
+  FlatVertexMap roles;
+
+  void Load(em::Context& ctx, em::Array<EdgeT> pivot, std::size_t p0,
+            std::size_t p1) {
+    const std::size_t csize = p1 - p0;
+    chunk.resize(csize);
+    pivot.ReadTo(p0, p1, chunk.data());
+    // Every caller passes lex-sorted pivot edges (whole edge list or color
+    // buckets cut from one), so the chunk is almost always already sorted —
+    // verify in one sweep and skip the sort. The fallback stays std::sort:
+    // edges are unique under LexLess, so stability is moot, and the
+    // in-place sort keeps the chunk lease the honest account of this
+    // chunk's internal-memory footprint.
+    if (!std::is_sorted(chunk.begin(), chunk.end(), graph::LexLess{})) {
+      std::sort(chunk.begin(), chunk.end(), graph::LexLess{});
+    }
+    ctx.AddWork(csize * 2);
+
+    ranges.clear();
+    ranges.reserve(csize);
+    roles.Reset(2 * csize);
+    for (std::size_t i = 0; i < csize; ++i) {
+      graph::VertexId u = Access::U(chunk[i]);
+      if (ranges.empty() ||
+          Access::U(chunk[i - 1]) != u) {  // chunk sorted: runs are contiguous
+        roles.Add(u, (static_cast<std::uint32_t>(ranges.size()) + 1) << 1);
+        ranges.emplace_back(static_cast<std::uint32_t>(i),
+                            static_cast<std::uint32_t>(i + 1));
+      } else {
+        ranges.back().second = static_cast<std::uint32_t>(i + 1);
+      }
+      roles.Add(Access::V(chunk[i]), 1u);
+    }
+  }
+};
+
+/// The fused serial loop engine: probe interleaved with the stream read,
+/// direct emission. This is the default (threads=1) hot path; keep it lean:
+/// scanners are constructed here so they stay true locals the compiler can
+/// keep in registers across the opaque sink/work calls.
+template <typename EdgeT>
+void ScanConesSerial(em::Context& ctx, const ResidentChunk<EdgeT>& rc,
+                     em::Array<EdgeT> cone_a, em::Array<EdgeT> cone_b,
+                     bool same_cone, TriangleSink& sink) {
+  using Access = graph::EdgeAccess<EdgeT>;
+  using graph::VertexId;
+  // One pass over the cone stream(s), grouped by cone vertex v.
+  em::Scanner<EdgeT> sa(cone_a);
+  em::Scanner<EdgeT> sb;
+  if (!same_cone) sb = em::Scanner<EdgeT>(cone_b);
+  // Hot-state locals (see FlatVertexMap::View): the chunk, run table and
+  // role map never change inside this scan, and keeping raw pointers in
+  // locals stops the opaque sink/work calls from forcing reloads.
+  const EdgeT* const chunk = rc.chunk.data();
+  const std::pair<std::uint32_t, std::uint32_t>* const ranges =
+      rc.ranges.data();
+  const FlatVertexMap::View roles = rc.roles.view();
+  // Gamma_v split by role: u-side neighbours carry their resolved ranges
+  // index (no re-probe in the emit loop), w-side is membership only.
+  std::vector<std::pair<VertexId, std::uint32_t>> g2;
+  std::vector<VertexId> g3;
+
+  while (sa.HasNext() || (!same_cone && sb.HasNext())) {
+    VertexId v;
+    if (!sa.HasNext()) {
+      v = Access::U(sb.Peek());
+    } else if (same_cone || !sb.HasNext()) {
+      v = Access::U(sa.Peek());
+    } else {
+      v = std::min(Access::U(sa.Peek()), Access::U(sb.Peek()));
+    }
+    g2.clear();
+    g3.clear();
+    while (sa.HasNext() && Access::U(sa.Peek()) == v) {
+      EdgeT e = sa.Next();
+      VertexId nbr = Access::V(e);
+      ctx.AddWork(1);
+      // Single probe resolves both roles of nbr (u-side head, max-side
+      // member) — this runs once per cone edge per chunk, the hottest
+      // host loop of Lemma 2.
+      const std::uint32_t r = roles.Get(nbr);
+      if (r != FlatVertexMap::kEmpty) {
+        if ((r >> 1) != 0) g2.emplace_back(nbr, (r >> 1) - 1);
+        if (same_cone && (r & 1u) != 0) g3.push_back(nbr);
+      }
+    }
+    if (!same_cone) {
+      while (sb.HasNext() && Access::U(sb.Peek()) == v) {
+        EdgeT e = sb.Next();
+        VertexId nbr = Access::V(e);
+        ctx.AddWork(1);
+        const std::uint32_t r = roles.Get(nbr);
+        if (r != FlatVertexMap::kEmpty && (r & 1u) != 0) g3.push_back(nbr);
+      }
+    }
+    if (g2.empty() || g3.empty()) continue;
+
+    // The lex-sort precondition makes neighbours within a group arrive
+    // v-ascending, so g3 is already sorted for the binary searches below;
+    // verify in one sweep (and repair) rather than trust the caller.
+    if (!std::is_sorted(g3.begin(), g3.end())) {
+      std::sort(g3.begin(), g3.end());
+    }
+    for (const auto& [u, ri] : g2) {
+      const auto& range = ranges[ri];
+      for (std::uint32_t i = range.first; i < range.second; ++i) {
+        VertexId w = Access::V(chunk[i]);
+        ctx.AddWork(1);
+        if (std::binary_search(g3.begin(), g3.end(), w)) {
+          sink.Emit(v, u, w);
+        }
+      }
+    }
+  }
+}
+
+/// The pooled loop engine: identical charges and output (see the header
+/// comment), with the per-group probe and emit phases fanned out over the
+/// par pool. Work accounting moves from per-item to per-batch AddWork calls
+/// of equal totals.
+template <typename EdgeT>
+void ScanConesPooled(em::Context& ctx, const ResidentChunk<EdgeT>& rc,
+                     em::Array<EdgeT> cone_a, em::Array<EdgeT> cone_b,
+                     bool same_cone, TriangleSink& sink) {
+  using Access = graph::EdgeAccess<EdgeT>;
+  using graph::VertexId;
+  em::Scanner<EdgeT> sa(cone_a);
+  em::Scanner<EdgeT> sb;
+  if (!same_cone) sb = em::Scanner<EdgeT>(cone_b);
+  const EdgeT* const chunk = rc.chunk.data();
+  const std::pair<std::uint32_t, std::uint32_t>* const ranges =
+      rc.ranges.data();
+  const FlatVertexMap::View roles = rc.roles.view();
+  std::vector<std::pair<VertexId, std::uint32_t>> g2;
+  std::vector<VertexId> g3;
+  std::vector<VertexId> nbrs;       // one group's neighbours, arrival order
+  std::vector<std::uint32_t> role;  // their probed role payloads
+  std::vector<std::uint64_t> g2_probes;  // per-g2-entry pivot-run lengths
+  std::vector<std::vector<std::pair<VertexId, VertexId>>> emit_bufs;
+
+  // Batched role probe: role[i] = roles.Get(nbrs[i]) over stable partitions.
+  auto probe_group = [&](std::size_t count) {
+    if (role.size() < count) role.resize(count);
+    par::ParallelFor(count, kPivotParGrain,
+                     [&](std::size_t lo, std::size_t hi) {
+                       for (std::size_t i = lo; i < hi; ++i) {
+                         role[i] = roles.Get(nbrs[i]);
+                       }
+                     });
+  };
+
+  while (sa.HasNext() || (!same_cone && sb.HasNext())) {
+    VertexId v;
+    if (!sa.HasNext()) {
+      v = Access::U(sb.Peek());
+    } else if (same_cone || !sb.HasNext()) {
+      v = Access::U(sa.Peek());
+    } else {
+      v = std::min(Access::U(sa.Peek()), Access::U(sb.Peek()));
+    }
+    g2.clear();
+    g3.clear();
+    // Neighbour collection: the exact Peek/Next sequence of the serial
+    // engine, so the I/O charges are untouched; only the (pure) probes are
+    // deferred into the batch.
+    nbrs.clear();
+    while (sa.HasNext() && Access::U(sa.Peek()) == v) {
+      nbrs.push_back(Access::V(sa.Next()));
+    }
+    ctx.AddWork(nbrs.size());
+    probe_group(nbrs.size());
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const std::uint32_t r = role[i];
+      if (r != FlatVertexMap::kEmpty) {
+        if ((r >> 1) != 0) g2.emplace_back(nbrs[i], (r >> 1) - 1);
+        if (same_cone && (r & 1u) != 0) g3.push_back(nbrs[i]);
+      }
+    }
+    if (!same_cone) {
+      nbrs.clear();
+      while (sb.HasNext() && Access::U(sb.Peek()) == v) {
+        nbrs.push_back(Access::V(sb.Next()));
+      }
+      ctx.AddWork(nbrs.size());
+      probe_group(nbrs.size());
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        if (role[i] != FlatVertexMap::kEmpty && (role[i] & 1u) != 0) {
+          g3.push_back(nbrs[i]);
+        }
+      }
+    }
+    if (g2.empty() || g3.empty()) continue;
+
+    if (!std::is_sorted(g3.begin(), g3.end())) {
+      std::sort(g3.begin(), g3.end());
+    }
+    // Emit phase: each g2 entry scans its resident pivot run against g3.
+    // Work is the run length, not a constant, so the partitioning is
+    // weighted; per-worker emit buffers are flushed to the sink in
+    // partition order. A single partition (small group) emits directly —
+    // the order is the same either way.
+    g2_probes.resize(g2.size());
+    std::uint64_t total_probes = 0;
+    for (std::size_t k = 0; k < g2.size(); ++k) {
+      g2_probes[k] =
+          ranges[g2[k].second].second - ranges[g2[k].second].first;
+      total_probes += g2_probes[k];
+    }
+    ctx.AddWork(total_probes);
+    const std::size_t parts =
+        par::PartsFor(static_cast<std::size_t>(total_probes), par::Threads(),
+                      kPivotParGrain);
+    if (parts <= 1) {
+      for (const auto& [u, ri] : g2) {
+        const auto& range = ranges[ri];
+        for (std::uint32_t i = range.first; i < range.second; ++i) {
+          VertexId w = Access::V(chunk[i]);
+          if (std::binary_search(g3.begin(), g3.end(), w)) {
+            sink.Emit(v, u, w);
+          }
+        }
+      }
+      continue;
+    }
+    const std::vector<par::Range> splits = par::SplitWeighted(g2_probes, parts);
+    if (emit_bufs.size() < splits.size()) emit_bufs.resize(splits.size());
+    par::ParallelFor(splits.size(), 1, [&](std::size_t k0, std::size_t k1) {
+      for (std::size_t k = k0; k < k1; ++k) {
+        auto& buf = emit_bufs[k];
+        buf.clear();
+        for (std::size_t gi = splits[k].lo; gi < splits[k].hi; ++gi) {
+          const auto& [u, ri] = g2[gi];
+          const auto& range = ranges[ri];
+          for (std::uint32_t i = range.first; i < range.second; ++i) {
+            VertexId w = Access::V(chunk[i]);
+            if (std::binary_search(g3.begin(), g3.end(), w)) {
+              buf.emplace_back(u, w);
+            }
+          }
+        }
+      }
+    });
+    for (std::size_t k = 0; k < splits.size(); ++k) {
+      for (const auto& [u, w] : emit_bufs[k]) sink.Emit(v, u, w);
+    }
+  }
+}
 
 }  // namespace internal
 
@@ -102,8 +402,6 @@ template <typename EdgeT>
 void PivotEnumerate(em::Context& ctx, em::Array<EdgeT> cone_a,
                     em::Array<EdgeT> cone_b, em::Array<EdgeT> pivot,
                     TriangleSink& sink, const PivotEnumOptions& opts = {}) {
-  using Access = graph::EdgeAccess<EdgeT>;
-  using graph::VertexId;
   if (pivot.empty() || cone_a.empty() || cone_b.empty()) return;
 
   const bool same_cone = cone_a.base() == cone_b.base();
@@ -118,6 +416,8 @@ void PivotEnumerate(em::Context& ctx, em::Array<EdgeT> cone_a,
       std::min(chunk_items, ctx.memory_words() / (words_per + 6));
   chunk_items = std::max<std::size_t>(chunk_items, 1);
 
+  const bool pool_active = par::Threads() > 1;
+  internal::ResidentChunk<EdgeT> rc;
   for (std::size_t p0 = 0; p0 < pivot.size(); p0 += chunk_items) {
     const std::size_t p1 = std::min(pivot.size(), p0 + chunk_items);
     const std::size_t csize = p1 - p0;
@@ -125,108 +425,14 @@ void PivotEnumerate(em::Context& ctx, em::Array<EdgeT> cone_a,
     // Internal-memory working set for this chunk: the chunk itself, its
     // adjacency index, the endpoint filters, and the per-v buffers.
     em::ScratchLease lease = ctx.LeaseScratch(csize * (words_per + 6));
+    rc.Load(ctx, pivot, p0, p1);
 
-    std::vector<EdgeT> chunk(csize);
-    pivot.ReadTo(p0, p1, chunk.data());
-    // Every caller passes lex-sorted pivot edges (whole edge list or color
-    // buckets cut from one), so the chunk is almost always already sorted —
-    // verify in one sweep and skip the sort. The fallback stays std::sort:
-    // edges are unique under LexLess, so stability is moot, and the
-    // in-place sort keeps the chunk lease the honest account of this
-    // chunk's internal-memory footprint.
-    if (!std::is_sorted(chunk.begin(), chunk.end(), graph::LexLess{})) {
-      std::sort(chunk.begin(), chunk.end(), graph::LexLess{});
-    }
-    ctx.AddWork(csize * 2);
-
-    // Adjacency over the resident pivot edges, keyed by smaller endpoint:
-    // the sorted chunk itself is the index. `ranges` lists each distinct u's
-    // [first, last) run. One flat open-addressed table carries both roles a
-    // vertex can play — payload bit 0 marks max-side membership, bits 1+
-    // hold 1 + the `ranges` index of its u-side run — so the cone hot loop
-    // answers both membership probes with a single lookup. (The packed
-    // payload would alias the empty sentinel only at 2^30 resident ranges;
-    // chunks are capped at M/(w+6) records, orders of magnitude below.)
-    std::vector<std::pair<std::uint32_t, std::uint32_t>> ranges;
-    internal::FlatVertexMap roles;
-    ranges.reserve(csize);
-    roles.Reset(2 * csize);
-    for (std::size_t i = 0; i < csize; ++i) {
-      VertexId u = Access::U(chunk[i]);
-      if (ranges.empty() ||
-          Access::U(chunk[i - 1]) != u) {  // chunk sorted: runs are contiguous
-        roles.Add(u, (static_cast<std::uint32_t>(ranges.size()) + 1) << 1);
-        ranges.emplace_back(static_cast<std::uint32_t>(i),
-                            static_cast<std::uint32_t>(i + 1));
-      } else {
-        ranges.back().second = static_cast<std::uint32_t>(i + 1);
-      }
-      roles.Add(Access::V(chunk[i]), 1u);
-    }
-    auto in_max_side = [&](VertexId v) {
-      std::uint32_t r = roles.Get(v);
-      return r != internal::FlatVertexMap::kEmpty && (r & 1u) != 0;
-    };
-
-    // One pass over the cone stream(s), grouped by cone vertex v.
-    em::Scanner<EdgeT> sa(cone_a);
-    em::Scanner<EdgeT> sb;
-    if (!same_cone) sb = em::Scanner<EdgeT>(cone_b);
-    // Gamma_v split by role: u-side neighbours carry their resolved ranges
-    // index (no re-probe in the emit loop), w-side is membership only.
-    std::vector<std::pair<VertexId, std::uint32_t>> g2;
-    std::vector<VertexId> g3;
-
-    while (sa.HasNext() || (!same_cone && sb.HasNext())) {
-      VertexId v;
-      if (!sa.HasNext()) {
-        v = Access::U(sb.Peek());
-      } else if (same_cone || !sb.HasNext()) {
-        v = Access::U(sa.Peek());
-      } else {
-        v = std::min(Access::U(sa.Peek()), Access::U(sb.Peek()));
-      }
-      g2.clear();
-      g3.clear();
-      while (sa.HasNext() && Access::U(sa.Peek()) == v) {
-        EdgeT e = sa.Next();
-        VertexId nbr = Access::V(e);
-        ctx.AddWork(1);
-        // Single probe resolves both roles of nbr (u-side head, max-side
-        // member) — this runs once per cone edge per chunk, the hottest
-        // host loop of Lemma 2.
-        const std::uint32_t r = roles.Get(nbr);
-        if (r != internal::FlatVertexMap::kEmpty) {
-          if ((r >> 1) != 0) g2.emplace_back(nbr, (r >> 1) - 1);
-          if (same_cone && (r & 1u) != 0) g3.push_back(nbr);
-        }
-      }
-      if (!same_cone) {
-        while (sb.HasNext() && Access::U(sb.Peek()) == v) {
-          EdgeT e = sb.Next();
-          VertexId nbr = Access::V(e);
-          ctx.AddWork(1);
-          if (in_max_side(nbr)) g3.push_back(nbr);
-        }
-      }
-      if (g2.empty() || g3.empty()) continue;
-
-      // The lex-sort precondition makes neighbours within a group arrive
-      // v-ascending, so g3 is already sorted for the binary searches below;
-      // verify in one sweep (and repair) rather than trust the caller.
-      if (!std::is_sorted(g3.begin(), g3.end())) {
-        std::sort(g3.begin(), g3.end());
-      }
-      for (const auto& [u, ri] : g2) {
-        const auto& range = ranges[ri];
-        for (std::uint32_t i = range.first; i < range.second; ++i) {
-          VertexId w = Access::V(chunk[i]);
-          ctx.AddWork(1);
-          if (std::binary_search(g3.begin(), g3.end(), w)) {
-            sink.Emit(v, u, w);
-          }
-        }
-      }
+    if (pool_active) {
+      internal::ScanConesPooled<EdgeT>(ctx, rc, cone_a, cone_b, same_cone,
+                                       sink);
+    } else {
+      internal::ScanConesSerial<EdgeT>(ctx, rc, cone_a, cone_b, same_cone,
+                                       sink);
     }
   }
 }

@@ -16,6 +16,7 @@
 #ifndef TRIENUM_EM_ARRAY_H_
 #define TRIENUM_EM_ARRAY_H_
 
+#include <atomic>
 #include <cstring>
 #include <type_traits>
 #include <vector>
@@ -31,8 +32,8 @@ namespace trienum::em {
 enum class ScanMode { kBuffered, kElementwise };
 
 namespace internal {
-inline ScanMode& DefaultScanModeStorage() {
-  static ScanMode mode = ScanMode::kBuffered;
+inline std::atomic<ScanMode>& DefaultScanModeStorage() {
+  static std::atomic<ScanMode> mode{ScanMode::kBuffered};
   return mode;
 }
 }  // namespace internal
@@ -40,12 +41,21 @@ inline ScanMode& DefaultScanModeStorage() {
 /// Process-wide default mode for newly constructed Scanner/Writer. The
 /// differential suite and benches flip this to run whole algorithms down
 /// either path; IoStats must not change (asserted by tests/test_hotpath.cc).
-inline ScanMode DefaultScanMode() { return internal::DefaultScanModeStorage(); }
+/// The storage is atomic so a read never tears against a concurrent flip,
+/// but the mode is process-wide configuration, not per-thread state: all
+/// Scanner/Writer construction — like every em:: charge — happens on the
+/// main thread, and pool workers (src/par/) must neither flip the default
+/// nor expect a ScopedScanMode on another thread to be visible mid-region.
+inline ScanMode DefaultScanMode() {
+  return internal::DefaultScanModeStorage().load(std::memory_order_relaxed);
+}
 inline void SetDefaultScanMode(ScanMode m) {
-  internal::DefaultScanModeStorage() = m;
+  internal::DefaultScanModeStorage().store(m, std::memory_order_relaxed);
 }
 
 /// RAII scope flipping the default scan mode (used by tests/benches).
+/// Process-wide, like the default it guards: construct and destroy on the
+/// main thread only — a scoped override must never cross pool workers.
 class ScopedScanMode {
  public:
   explicit ScopedScanMode(ScanMode m) : saved_(DefaultScanMode()) {

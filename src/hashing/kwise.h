@@ -37,6 +37,11 @@ inline std::uint64_t AddMod61(std::uint64_t a, std::uint64_t b) {
 ///
 /// h(x) = a3*x^3 + a2*x^2 + a1*x + a0 over GF(2^61 - 1), coefficients drawn
 /// deterministically from `seed`.
+///
+/// Every evaluator is const and touches only the immutable coefficient
+/// array, so a constructed hash may be called concurrently from par pool
+/// workers — the contract the batched refinement-bit kernel (the §3
+/// recursion's counting scan in cache_oblivious.cc) relies on.
 class FourWiseHash {
  public:
   FourWiseHash() : FourWiseHash(0) {}

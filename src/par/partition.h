@@ -1,0 +1,98 @@
+// Stable range splitting: the determinism substrate of the par subsystem.
+//
+// Every parallel kernel in the library decomposes its input into contiguous
+// partitions of [0, n), hands partition i to some worker, and merges the
+// per-partition results *in partition order*. Because the split depends only
+// on (n, parts) — never on thread scheduling — the merged result reproduces
+// the serial left-to-right order exactly, which is what makes threads=N
+// bit-for-bit equivalent to threads=1 (triangle output, enumeration order,
+// radix stability) throughout.
+#ifndef TRIENUM_PAR_PARTITION_H_
+#define TRIENUM_PAR_PARTITION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace trienum::par {
+
+/// One contiguous partition [lo, hi) of an index range.
+struct Range {
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+  std::size_t size() const { return hi - lo; }
+};
+
+/// Number of partitions to split `n` items into under `grain` control: at
+/// most `threads`, and never so many that a partition would hold fewer than
+/// `grain` items. 0 for an empty range, 1 when parallelism cannot pay.
+inline std::size_t PartsFor(std::size_t n, std::size_t threads,
+                            std::size_t grain) {
+  if (n == 0) return 0;
+  if (threads <= 1) return 1;
+  if (grain == 0) grain = 1;
+  const std::size_t by_grain = n / grain;  // partitions of >= grain items
+  const std::size_t parts = threads < by_grain ? threads : by_grain;
+  return parts == 0 ? 1 : parts;
+}
+
+/// Partition `i` of `n` items split into `parts` contiguous ranges whose
+/// sizes differ by at most one (the first n % parts ranges get the extra
+/// item). Deterministic in (n, parts, i): concatenating partitions 0..parts-1
+/// is exactly [0, n).
+inline Range PartRange(std::size_t n, std::size_t parts, std::size_t i) {
+  const std::size_t base = n / parts;
+  const std::size_t extra = n % parts;
+  const std::size_t lo = i * base + (i < extra ? i : extra);
+  const std::size_t len = base + (i < extra ? 1 : 0);
+  return Range{lo, lo + len};
+}
+
+/// All partitions of SplitRange order, materialized (tests / weighted-split
+/// callers that iterate the whole decomposition).
+inline std::vector<Range> SplitRange(std::size_t n, std::size_t parts) {
+  std::vector<Range> out;
+  if (n == 0 || parts == 0) return out;
+  out.reserve(parts);
+  for (std::size_t i = 0; i < parts; ++i) out.push_back(PartRange(n, parts, i));
+  return out;
+}
+
+/// Splits items 0..weights.size() into at most `parts` contiguous ranges of
+/// roughly equal total weight (boundaries at the smallest prefix reaching
+/// ceil(k * total / parts)). Deterministic; never returns an empty range;
+/// may return fewer than `parts` ranges when weights are concentrated. Used
+/// by the Lemma 2 emit loop, where per-item work is a resident pivot run's
+/// length rather than a constant.
+inline std::vector<Range> SplitWeighted(const std::vector<std::uint64_t>& weights,
+                                        std::size_t parts) {
+  std::vector<Range> out;
+  const std::size_t n = weights.size();
+  if (n == 0 || parts == 0) return out;
+  std::uint64_t total = 0;
+  for (std::uint64_t w : weights) total += w;
+  if (parts == 1 || total == 0) {
+    out.push_back(Range{0, n});
+    return out;
+  }
+  std::size_t lo = 0;
+  std::uint64_t prefix = 0;
+  for (std::size_t k = 1; k <= parts && lo < n; ++k) {
+    // Target prefix weight for the end of range k (ceil division keeps the
+    // last range from going empty).
+    const std::uint64_t target = (total * k + parts - 1) / parts;
+    std::size_t hi = lo;
+    while (hi < n && (prefix < target || hi == lo)) {
+      prefix += weights[hi];
+      ++hi;
+    }
+    if (k == parts) hi = n;  // absorb any rounding tail
+    out.push_back(Range{lo, hi});
+    lo = hi;
+  }
+  return out;
+}
+
+}  // namespace trienum::par
+
+#endif  // TRIENUM_PAR_PARTITION_H_

@@ -1,0 +1,109 @@
+#include "par/thread_pool.h"
+
+namespace trienum::par {
+namespace {
+
+/// Set while the current thread executes a part of some region; consulted by
+/// the nested fan-out rejection in ParallelFor / ParallelReduce.
+thread_local bool tls_in_region = false;
+
+/// RAII flip of the region flag around one task invocation.
+struct RegionScope {
+  RegionScope() { tls_in_region = true; }
+  ~RegionScope() { tls_in_region = false; }
+};
+
+}  // namespace
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+bool ThreadPool::InParallelRegion() { return tls_in_region; }
+
+std::size_t ThreadPool::spawned_workers() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return workers_.size();
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::EnsureWorkers(std::size_t want) {
+  std::lock_guard<std::mutex> lk(mu_);
+  while (workers_.size() < want) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  std::uint64_t seen = 0;
+  for (;;) {
+    cv_work_.wait(lk, [&] { return shutdown_ || generation_ != seen; });
+    if (shutdown_) return;
+    seen = generation_;
+    // Claim parts one at a time. Every claim re-checks the generation under
+    // the lock, so a worker that drained the queue can never run a stale
+    // task pointer against the next region's counters. Parts are coarse
+    // (>= grain items each; at most ~Threads() of them), so the per-claim
+    // lock is noise next to the work inside a part.
+    while (generation_ == seen && next_ < parts_) {
+      const std::size_t idx = next_++;
+      const std::function<void(std::size_t)>* task = task_;
+      lk.unlock();
+      {
+        RegionScope region;
+        (*task)(idx);
+      }
+      lk.lock();
+      if (++done_ == parts_) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::Run(std::size_t parts, std::size_t threads,
+                     const std::function<void(std::size_t)>& task) {
+  TRIENUM_CHECK(parts > 0);
+  // One region at a time: Run is only entered from the (single) main
+  // thread — nested fan-out from workers is rejected before reaching here.
+  // The caller participates as one executor, so at most parts - 1 helpers
+  // can ever claim a part.
+  const std::size_t helpers =
+      threads > 0 ? (threads - 1 < parts - 1 ? threads - 1 : parts - 1) : 0;
+  EnsureWorkers(helpers);
+  std::unique_lock<std::mutex> lk(mu_);
+  task_ = &task;
+  parts_ = parts;
+  next_ = 0;
+  done_ = 0;
+  ++generation_;
+  lk.unlock();
+  cv_work_.notify_all();
+
+  // The caller is a worker too; it claims parts alongside the pool.
+  lk.lock();
+  const std::uint64_t gen = generation_;
+  while (generation_ == gen && next_ < parts_) {
+    const std::size_t idx = next_++;
+    lk.unlock();
+    {
+      RegionScope region;
+      task(idx);
+    }
+    lk.lock();
+    ++done_;
+  }
+  cv_done_.wait(lk, [&] { return done_ == parts_; });
+  task_ = nullptr;
+  parts_ = 0;
+}
+
+}  // namespace trienum::par
