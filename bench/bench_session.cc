@@ -1,0 +1,106 @@
+// Amortized query latency of the session architecture: answering k queries
+// over one LoadedGraph (ingest + normalize once, cold cache per query)
+// versus k full single-query runs (fresh context, re-ingest, re-normalize
+// every time). The gap is exactly the load cost the query layer amortizes;
+// per-query I/O is bit-identical on both sides by the session-reuse
+// contract, so the counters double as a standing check that reuse never
+// drifts. BENCH_session.json commits the amortization curve (k = 1, 4, 16).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "query/query.h"
+
+namespace trienum::bench {
+namespace {
+
+constexpr std::size_t kMemWords = 4096;
+constexpr std::size_t kBlockWords = 64;
+constexpr std::uint64_t kSeed = 0xB0B;
+
+std::vector<graph::Edge> BenchEdges() {
+  return graph::Rmat(10, 8192, 0.45, 0.22, 0.22, 7);
+}
+
+em::EmConfig BenchConfig() {
+  em::EmConfig cfg;
+  cfg.memory_words = kMemWords;
+  cfg.block_words = kBlockWords;
+  cfg.seed = kSeed;
+  return cfg;
+}
+
+/// Load once, answer k count queries through the reused session.
+void BM_SessionLoadOncePlusKQueries(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  const std::vector<graph::Edge> raw = BenchEdges();
+  query::Query q;
+  q.algo = "ps-cache-aware";
+
+  double wall_ms = 0;
+  std::uint64_t triangles = 0;
+  em::IoStats per_query_io;
+  for (auto _ : state) {
+    auto t0 = std::chrono::steady_clock::now();
+    query::LoadedGraph lg = query::LoadedGraph::FromEdges(BenchConfig(), raw);
+    for (std::size_t i = 0; i < k; ++i) {
+      query::QueryResult r = *lg.Run(q);
+      triangles = r.triangles;
+      // Session-reuse sanity: every query in the batch must charge the same
+      // I/Os as the first (the bit-identity contract, kept hot in the bench).
+      if (i == 0) {
+        per_query_io = r.io;
+      } else {
+        TRIENUM_CHECK(r.io.block_reads == per_query_io.block_reads &&
+                      r.io.block_writes == per_query_io.block_writes &&
+                      r.io.cache_hits == per_query_io.cache_hits);
+      }
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    wall_ms += std::chrono::duration<double, std::milli>(t1 - t0).count();
+  }
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["wall_ms"] = wall_ms / iters;
+  state.counters["per_query_ms"] =
+      wall_ms / iters / static_cast<double>(k);
+  state.counters["ios_per_query"] =
+      static_cast<double>(per_query_io.total_ios());
+  state.counters["triangles"] = static_cast<double>(triangles);
+  state.SetLabel("load_once");
+}
+BENCHMARK(BM_SessionLoadOncePlusKQueries)->Arg(1)->Arg(4)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+/// The baseline it amortizes against: k independent full runs, each paying
+/// ingest + normalize again.
+void BM_SessionKFullRuns(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  const std::vector<graph::Edge> raw = BenchEdges();
+
+  double wall_ms = 0;
+  RunOutcome out;
+  for (auto _ : state) {
+    auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < k; ++i) {
+      out = MeasureAlgorithm("ps-cache-aware", raw, kMemWords, kBlockWords,
+                             kSeed);
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    wall_ms += std::chrono::duration<double, std::milli>(t1 - t0).count();
+  }
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["wall_ms"] = wall_ms / iters;
+  state.counters["per_query_ms"] =
+      wall_ms / iters / static_cast<double>(k);
+  state.counters["ios_per_query"] = static_cast<double>(out.io.total_ios());
+  state.counters["triangles"] = static_cast<double>(out.triangles);
+  state.SetLabel("full_runs");
+}
+BENCHMARK(BM_SessionKFullRuns)->Arg(1)->Arg(4)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace trienum::bench

@@ -18,7 +18,7 @@ const std::vector<AlgorithmInfo>& AllAlgorithms() {
         "Pagh-Silvestri Section 2: randomized color coding, "
         "O(E^1.5/(sqrt(M)B)) expected I/Os",
         /*cache_aware=*/true, /*randomized=*/true,
-        [](em::Context& ctx, const graph::EmGraph& g, TriangleSink& sink) {
+        [](em::QuerySession& ctx, const graph::EmGraph& g, TriangleSink& sink) {
           EnumerateCacheAware(ctx, g, sink);
         }});
     v->push_back(AlgorithmInfo{
@@ -26,7 +26,7 @@ const std::vector<AlgorithmInfo>& AllAlgorithms() {
         "Pagh-Silvestri Section 3: recursive color refinement, "
         "cache-oblivious, O(E^1.5/(sqrt(M)B)) expected I/Os",
         /*cache_aware=*/false, /*randomized=*/true,
-        [](em::Context& ctx, const graph::EmGraph& g, TriangleSink& sink) {
+        [](em::QuerySession& ctx, const graph::EmGraph& g, TriangleSink& sink) {
           EnumerateCacheOblivious(ctx, g, sink);
         }});
     v->push_back(AlgorithmInfo{
@@ -34,7 +34,7 @@ const std::vector<AlgorithmInfo>& AllAlgorithms() {
         "Pagh-Silvestri Section 4: greedy derandomized coloring, "
         "deterministic O(E^1.5/(sqrt(M)B)) I/Os",
         /*cache_aware=*/true, /*randomized=*/false,
-        [](em::Context& ctx, const graph::EmGraph& g, TriangleSink& sink) {
+        [](em::QuerySession& ctx, const graph::EmGraph& g, TriangleSink& sink) {
           CacheAwareOptions opts;
           opts.deterministic_coloring = true;
           EnumerateCacheAware(ctx, g, sink, opts);
@@ -43,21 +43,21 @@ const std::vector<AlgorithmInfo>& AllAlgorithms() {
         "mgt",
         "Hu-Tao-Chung (SIGMOD'13): O(E^2/(MB)) I/Os",
         /*cache_aware=*/true, /*randomized=*/false,
-        [](em::Context& ctx, const graph::EmGraph& g, TriangleSink& sink) {
+        [](em::QuerySession& ctx, const graph::EmGraph& g, TriangleSink& sink) {
           EnumerateMgt(ctx, g, sink);
         }});
     v->push_back(AlgorithmInfo{
         "dementiev",
         "Dementiev (2006): wedge join, O(sort(E^1.5)) I/Os",
         /*cache_aware=*/true, /*randomized=*/false,
-        [](em::Context& ctx, const graph::EmGraph& g, TriangleSink& sink) {
+        [](em::QuerySession& ctx, const graph::EmGraph& g, TriangleSink& sink) {
           EnumerateDementiev(ctx, g, sink);
         }});
     v->push_back(AlgorithmInfo{
         "edge-iterator",
         "Menegola-style edge iterator: O(E + E^1.5/B) I/Os",
         /*cache_aware=*/false, /*randomized=*/false,
-        [](em::Context& ctx, const graph::EmGraph& g, TriangleSink& sink) {
+        [](em::QuerySession& ctx, const graph::EmGraph& g, TriangleSink& sink) {
           EnumerateEdgeIterator(ctx, g, sink);
         }});
     v->push_back(AlgorithmInfo{
@@ -65,14 +65,14 @@ const std::vector<AlgorithmInfo>& AllAlgorithms() {
         "Chu-Cheng (TKDD'12): vertex partitioning, O(E^2/(MB) + t/B) "
         "for partition-friendly graphs",
         /*cache_aware=*/true, /*randomized=*/false,
-        [](em::Context& ctx, const graph::EmGraph& g, TriangleSink& sink) {
+        [](em::QuerySession& ctx, const graph::EmGraph& g, TriangleSink& sink) {
           EnumerateChuCheng(ctx, g, sink);
         }});
     v->push_back(AlgorithmInfo{
         "bnl",
         "Pipelined block-nested-loop ternary join: O(E^3/(M^2 B)) I/Os",
         /*cache_aware=*/true, /*randomized=*/false,
-        [](em::Context& ctx, const graph::EmGraph& g, TriangleSink& sink) {
+        [](em::QuerySession& ctx, const graph::EmGraph& g, TriangleSink& sink) {
           EnumerateBnl(ctx, g, sink);
         }});
     return v;

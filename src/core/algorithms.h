@@ -20,7 +20,7 @@ struct AlgorithmInfo {
   bool cache_aware = true;
   /// True if the algorithm uses randomization (seeded from the context).
   bool randomized = false;
-  std::function<void(em::Context&, const graph::EmGraph&, TriangleSink&)> run;
+  std::function<void(em::QuerySession&, const graph::EmGraph&, TriangleSink&)> run;
 };
 
 /// All algorithms: the paper's three plus every baseline it cites.

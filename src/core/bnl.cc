@@ -17,7 +17,7 @@ struct PathCand {
 
 // Verifies buffered paths (v1, v2, v3) against the edge relation: sort by
 // (v1, v3) and merge-scan E once; matches close triangles.
-void FlushCandidates(em::Context& ctx, const graph::EmGraph& g,
+void FlushCandidates(em::QuerySession& ctx, const graph::EmGraph& g,
                      std::vector<PathCand>& cand, TriangleSink& sink) {
   if (cand.empty()) return;
   std::sort(cand.begin(), cand.end(), [](const PathCand& a, const PathCand& b) {
@@ -42,7 +42,7 @@ void FlushCandidates(em::Context& ctx, const graph::EmGraph& g,
 
 }  // namespace
 
-void EnumerateBnl(em::Context& ctx, const graph::EmGraph& g, TriangleSink& sink,
+void EnumerateBnl(em::QuerySession& ctx, const graph::EmGraph& g, TriangleSink& sink,
                   const BnlOptions& opts) {
   using graph::VertexId;
   const std::size_t m = g.num_edges();

@@ -19,7 +19,7 @@ struct BnlOptions {
   double candidate_fraction = 1.0 / 8.0;  ///< in-memory path buffer size
 };
 
-void EnumerateBnl(em::Context& ctx, const graph::EmGraph& g, TriangleSink& sink,
+void EnumerateBnl(em::QuerySession& ctx, const graph::EmGraph& g, TriangleSink& sink,
                   const BnlOptions& opts = {});
 
 /// Worst-case prediction O(E^3/(M^2 B)) with implementation constants.

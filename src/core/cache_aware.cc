@@ -13,7 +13,7 @@
 
 namespace trienum::core {
 
-void EnumerateCacheAware(em::Context& ctx, const graph::EmGraph& g,
+void EnumerateCacheAware(em::QuerySession& ctx, const graph::EmGraph& g,
                          TriangleSink& sink, const CacheAwareOptions& opts) {
   using graph::ColoredEdge;
   using graph::Edge;
@@ -68,7 +68,7 @@ void EnumerateCacheAware(em::Context& ctx, const graph::EmGraph& g,
     DeterministicColoring det = BuildDeterministicColoring(ctx, low, c);
     color = [det](VertexId v) { return det.Color(v); };
   } else {
-    std::uint64_t seed = opts.seed != 0 ? opts.seed : ctx.config().seed;
+    std::uint64_t seed = opts.seed != 0 ? opts.seed : ctx.seed();
     hashing::FourWiseHash h(seed);
     std::uint32_t cc = c;
     color = [h, cc](VertexId v) { return h.Color(v, cc); };

@@ -38,7 +38,7 @@ struct CacheAwareOptions {
 };
 
 /// Enumerates all triangles of the normalized graph `g`.
-void EnumerateCacheAware(em::Context& ctx, const graph::EmGraph& g,
+void EnumerateCacheAware(em::QuerySession& ctx, const graph::EmGraph& g,
                          TriangleSink& sink, const CacheAwareOptions& opts = {});
 
 /// The paper's bound E^{3/2} / (sqrt(M) B) (no constants): the yardstick all

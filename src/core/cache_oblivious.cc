@@ -20,14 +20,14 @@ using graph::VertexId;
 
 class CoRunner {
  public:
-  CoRunner(em::Context& ctx, TriangleSink& sink,
+  CoRunner(em::QuerySession& ctx, TriangleSink& sink,
            const CacheObliviousOptions& opts, int max_depth,
            CacheObliviousReport* report)
       : ctx_(ctx),
         sink_(sink),
         opts_(opts),
         max_depth_(max_depth),
-        rng_(opts.seed != 0 ? opts.seed : ctx.config().seed),
+        rng_(opts.seed != 0 ? opts.seed : ctx.seed()),
         report_(report) {}
 
   void Recurse(em::Array<ColoredEdge> a, std::array<std::uint32_t, 3> col,
@@ -59,7 +59,7 @@ class CoRunner {
     // All eight compatible-edge subsets are materialized with two scans of
     // the parent (count, then write) rather than one scan per child; the
     // recursion itself stays depth-first.
-    em::DeviceRegion region(&ctx_);
+    em::DeviceRegion region = ctx_.Region();
     std::array<std::array<std::uint32_t, 3>, 8> cc;
     std::array<std::size_t, 8> child_len{};
     std::array<std::array<std::uint64_t, 3>, 8> slots{};
@@ -415,7 +415,7 @@ class CoRunner {
         sink_);
   }
 
-  em::Context& ctx_;
+  em::QuerySession& ctx_;
   TriangleSink& sink_;
   CacheObliviousOptions opts_;
   int max_depth_;
@@ -428,7 +428,7 @@ class CoRunner {
 
 }  // namespace
 
-void EnumerateCacheOblivious(em::Context& ctx, const graph::EmGraph& g,
+void EnumerateCacheOblivious(em::QuerySession& ctx, const graph::EmGraph& g,
                              TriangleSink& sink,
                              const CacheObliviousOptions& opts,
                              CacheObliviousReport* report) {

@@ -49,7 +49,7 @@ struct CacheObliviousReport {
 };
 
 /// Enumerates all triangles of `g`, cache-obliviously.
-void EnumerateCacheOblivious(em::Context& ctx, const graph::EmGraph& g,
+void EnumerateCacheOblivious(em::QuerySession& ctx, const graph::EmGraph& g,
                              TriangleSink& sink,
                              const CacheObliviousOptions& opts = {},
                              CacheObliviousReport* report = nullptr);

@@ -21,7 +21,7 @@ std::uint64_t PackEdge(VertexId a, VertexId b) {
 
 class PartitionRunner {
  public:
-  PartitionRunner(em::Context& ctx, const graph::EmGraph& g, TriangleSink& sink,
+  PartitionRunner(em::QuerySession& ctx, const graph::EmGraph& g, TriangleSink& sink,
                   std::size_t capacity_words)
       : ctx_(ctx), g_(g), sink_(sink), capacity_(capacity_words) {}
 
@@ -111,7 +111,7 @@ class PartitionRunner {
     return true;
   }
 
-  em::Context& ctx_;
+  em::QuerySession& ctx_;
   const graph::EmGraph& g_;
   TriangleSink& sink_;
   std::size_t capacity_;
@@ -120,7 +120,7 @@ class PartitionRunner {
 
 }  // namespace
 
-void EnumerateChuCheng(em::Context& ctx, const graph::EmGraph& g,
+void EnumerateChuCheng(em::QuerySession& ctx, const graph::EmGraph& g,
                        TriangleSink& sink, const ChuChengOptions& opts) {
   if (g.num_edges() < 3) return;
   const std::size_t capacity = std::max<std::size_t>(

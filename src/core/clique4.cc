@@ -43,7 +43,7 @@ void EmitWith(CliqueSink& sink, VertexId x, VertexId a, VertexId b, VertexId c) 
 /// refinement) until they fit in memory.
 class QuadRecursor {
  public:
-  QuadRecursor(em::Context& ctx, CliqueSink& sink, std::size_t capacity_items,
+  QuadRecursor(em::QuerySession& ctx, CliqueSink& sink, std::size_t capacity_items,
                SplitMix64* rng)
       : ctx_(ctx), sink_(sink), capacity_(capacity_items), rng_(rng) {}
 
@@ -120,7 +120,7 @@ class QuadRecursor {
     static constexpr int kSlotPos[6][2] = {{0, 1}, {0, 2}, {0, 3},
                                            {1, 2}, {1, 3}, {2, 3}};
     for (int pattern = 0; pattern < 16; ++pattern) {
-      em::DeviceRegion region(&ctx_);
+      em::DeviceRegion region = ctx_.Region();
       std::array<em::Array<Edge>, 6> child;
       bool viable = true;
       for (int s = 0; s < 6 && viable; ++s) {
@@ -153,7 +153,7 @@ class QuadRecursor {
   static constexpr std::size_t kJoinGrainPairs = std::size_t{1} << 12;
 
  private:
-  em::Context& ctx_;
+  em::QuerySession& ctx_;
   CliqueSink& sink_;
   std::size_t capacity_;
   SplitMix64* rng_;
@@ -161,12 +161,12 @@ class QuadRecursor {
 
 }  // namespace
 
-void EnumerateFourCliques(em::Context& ctx, const graph::EmGraph& g,
+void EnumerateFourCliques(em::QuerySession& ctx, const graph::EmGraph& g,
                           CliqueSink& sink, const Clique4Options& opts) {
   const std::size_t m0 = g.num_edges();
   if (m0 < 6) return;
   auto region = ctx.Region();
-  SplitMix64 rng(opts.seed != 0 ? opts.seed : ctx.config().seed ^ 0x4C14);
+  SplitMix64 rng(opts.seed != 0 ? opts.seed : ctx.seed() ^ 0x4C14);
 
   em::Array<Edge> work = ctx.Alloc<Edge>(m0);
   extsort::Copy(g.edges, work);
@@ -188,7 +188,7 @@ void EnumerateFourCliques(em::Context& ctx, const graph::EmGraph& g,
   }
   for (VertexId x = g.num_vertices; x-- > h0;) {
     em::Array<Edge> cur = work.Slice(0, wlen);
-    em::DeviceRegion sub_region(&ctx);
+    em::DeviceRegion sub_region = ctx.Region();
     em::Array<Edge> gamma_edges = ctx.Alloc<Edge>(wlen);
     em::Writer<Edge> gw(gamma_edges);
     EnumerateTrianglesContaining<Edge>(

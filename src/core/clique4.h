@@ -69,7 +69,7 @@ struct Clique4Options {
 };
 
 /// Enumerates every 4-clique of the normalized graph exactly once.
-void EnumerateFourCliques(em::Context& ctx, const graph::EmGraph& g,
+void EnumerateFourCliques(em::QuerySession& ctx, const graph::EmGraph& g,
                           CliqueSink& sink, const Clique4Options& opts = {});
 
 /// Host-memory reference count (verification).

@@ -30,7 +30,7 @@ double Choose2(double n) { return n * (n - 1) / 2.0; }
 
 }  // namespace
 
-ColoringStats ComputeColoringStats(em::Context& ctx, em::Array<graph::Edge> edges,
+ColoringStats ComputeColoringStats(em::QuerySession& ctx, em::Array<graph::Edge> edges,
                                    const ColorFn& color, std::uint32_t c) {
   ColoringStats out;
   const std::size_t m = edges.size();

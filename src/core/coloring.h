@@ -30,7 +30,7 @@ struct ColoringStats {
 
 /// Computes X_xi and its adjacent/non-adjacent split for `edges` under
 /// `color` with c colors. O(sort(E)) I/Os.
-ColoringStats ComputeColoringStats(em::Context& ctx, em::Array<graph::Edge> edges,
+ColoringStats ComputeColoringStats(em::QuerySession& ctx, em::Array<graph::Edge> edges,
                                    const ColorFn& color, std::uint32_t c);
 
 /// Lemma 3's bound E*M on E[X_xi] (what the random coloring must meet in

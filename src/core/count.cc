@@ -7,7 +7,7 @@
 
 namespace trienum::core {
 
-Result<std::uint64_t> CountTriangles(em::Context& ctx, const graph::EmGraph& g,
+Result<std::uint64_t> CountTriangles(em::QuerySession& ctx, const graph::EmGraph& g,
                                      std::string_view algorithm) {
   const AlgorithmInfo* algo = FindAlgorithm(algorithm);
   if (algo == nullptr) {
@@ -18,7 +18,7 @@ Result<std::uint64_t> CountTriangles(em::Context& ctx, const graph::EmGraph& g,
   return sink.count();
 }
 
-Result<SampledCountResult> EstimateTriangles(em::Context& ctx,
+Result<SampledCountResult> EstimateTriangles(em::QuerySession& ctx,
                                              const graph::EmGraph& g, double p,
                                              std::string_view algorithm,
                                              std::uint64_t seed) {

@@ -19,7 +19,7 @@
 namespace trienum::core {
 
 /// Exact triangle count via the named enumeration algorithm.
-Result<std::uint64_t> CountTriangles(em::Context& ctx, const graph::EmGraph& g,
+Result<std::uint64_t> CountTriangles(em::QuerySession& ctx, const graph::EmGraph& g,
                                      std::string_view algorithm);
 
 struct SampledCountResult {
@@ -32,7 +32,7 @@ struct SampledCountResult {
 /// DOULION-style estimator: sparsify by 4-wise-hash edge sampling at rate
 /// `p` (deterministic in `seed`), enumerate the sample with the named
 /// algorithm, scale by 1/p^3. Unbiased over the seed choice.
-Result<SampledCountResult> EstimateTriangles(em::Context& ctx,
+Result<SampledCountResult> EstimateTriangles(em::QuerySession& ctx,
                                              const graph::EmGraph& g, double p,
                                              std::string_view algorithm,
                                              std::uint64_t seed);

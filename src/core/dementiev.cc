@@ -6,7 +6,7 @@
 
 namespace trienum::core {
 
-void EnumerateDementiev(em::Context& ctx, const graph::EmGraph& g,
+void EnumerateDementiev(em::QuerySession& ctx, const graph::EmGraph& g,
                         TriangleSink& sink) {
   WedgeJoinEnumerate<graph::Edge>(
       ctx, g.edges, extsort::AwareSorter{},

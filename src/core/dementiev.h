@@ -101,7 +101,7 @@ struct ByQueryEdgeLess {
 /// recursion passes the (c0,c1,c2)-properness predicate, the standalone
 /// baseline passes always-true.
 template <typename EdgeT, typename Sorter, typename Filter>
-void WedgeJoinEnumerate(em::Context& ctx, em::Array<EdgeT> edges, Sorter sorter,
+void WedgeJoinEnumerate(em::QuerySession& ctx, em::Array<EdgeT> edges, Sorter sorter,
                         Filter filter, TriangleSink& sink) {
   using Access = graph::EdgeAccess<EdgeT>;
   using internal::LocalDeg;
@@ -277,7 +277,7 @@ struct DementievOptions {};
 
 /// Standalone Dementiev baseline over a normalized graph (cache-aware sort,
 /// no filter): O(sort(E^{3/2})) I/Os.
-void EnumerateDementiev(em::Context& ctx, const graph::EmGraph& g,
+void EnumerateDementiev(em::QuerySession& ctx, const graph::EmGraph& g,
                         TriangleSink& sink);
 
 /// Predicted I/O cost sort(E^{3/2}) with the implementation's constants.

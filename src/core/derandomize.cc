@@ -85,7 +85,7 @@ LevelStats CurrentStats(em::Array<ColoredEdge> ce, em::Array<IncRec> inc) {
 /// evaluated with one scan of the class-grouped edges (subclass counts) and
 /// one scan of the (class, vertex)-grouped incidences (adjacent pairs).
 template <typename BitFn>
-LevelStats CandidateStats(em::Context& ctx, em::Array<ColoredEdge> ce,
+LevelStats CandidateStats(em::QuerySession& ctx, em::Array<ColoredEdge> ce,
                           em::Array<IncRec> inc, const BitFn& bh) {
   LevelStats s;
   if (ce.empty()) return s;
@@ -144,7 +144,7 @@ double Potential(const LevelStats& s, int level, std::uint32_t c) {
          std::ldexp(s.x_adj, level) / cc;
 }
 
-void SortStructures(em::Context& ctx, em::Array<ColoredEdge> ce,
+void SortStructures(em::QuerySession& ctx, em::Array<ColoredEdge> ce,
                     em::Array<IncRec> inc) {
   extsort::ExternalMergeSort(ctx, ce, graph::ColorClassLess{});
   extsort::ExternalMergeSort(ctx, inc, IncClassLess{});
@@ -187,7 +187,7 @@ std::uint32_t DeterministicColoring::RoundBit(std::size_t r,
   return bits_[r](v);
 }
 
-DeterministicColoring BuildDeterministicColoring(em::Context& ctx,
+DeterministicColoring BuildDeterministicColoring(em::QuerySession& ctx,
                                                  em::Array<graph::Edge> edges,
                                                  std::uint32_t c,
                                                  const DerandOptions& opts) {

@@ -82,7 +82,7 @@ class DeterministicColoring {
 /// Runs the greedy bit-fixing over `edges` (lex-sorted, low-degree part of
 /// the graph) for c colors (power of two). O(E log(E/M) / B)-ish I/Os plus
 /// one sort per round, as in the paper's Theorem 2 proof.
-DeterministicColoring BuildDeterministicColoring(em::Context& ctx,
+DeterministicColoring BuildDeterministicColoring(em::QuerySession& ctx,
                                                  em::Array<graph::Edge> edges,
                                                  std::uint32_t c,
                                                  const DerandOptions& opts = {});

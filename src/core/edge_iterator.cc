@@ -7,7 +7,7 @@
 
 namespace trienum::core {
 
-void EnumerateEdgeIterator(em::Context& ctx, const graph::EmGraph& g,
+void EnumerateEdgeIterator(em::QuerySession& ctx, const graph::EmGraph& g,
                            TriangleSink& sink) {
   using graph::VertexId;
   const std::size_t m = g.num_edges();

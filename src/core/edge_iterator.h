@@ -12,7 +12,7 @@
 
 namespace trienum::core {
 
-void EnumerateEdgeIterator(em::Context& ctx, const graph::EmGraph& g,
+void EnumerateEdgeIterator(em::QuerySession& ctx, const graph::EmGraph& g,
                            TriangleSink& sink);
 
 /// Predicted O(E + E^{3/2}/B) cost with implementation constants.

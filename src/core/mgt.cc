@@ -4,7 +4,7 @@
 
 namespace trienum::core {
 
-void EnumerateMgt(em::Context& ctx, const graph::EmGraph& g, TriangleSink& sink,
+void EnumerateMgt(em::QuerySession& ctx, const graph::EmGraph& g, TriangleSink& sink,
                   const MgtOptions& opts) {
   PivotEnumOptions popts;
   popts.chunk_fraction = opts.chunk_fraction;

@@ -22,7 +22,7 @@ struct MgtOptions {
 };
 
 /// Enumerates every triangle of the normalized graph `g`.
-void EnumerateMgt(em::Context& ctx, const graph::EmGraph& g, TriangleSink& sink,
+void EnumerateMgt(em::QuerySession& ctx, const graph::EmGraph& g, TriangleSink& sink,
                   const MgtOptions& opts = {});
 
 /// Predicted I/O cost O(E/B + E^2/(MB)) with the implementation's constants

@@ -139,7 +139,7 @@ struct ResidentChunk {
   /// records, orders of magnitude below.)
   FlatVertexMap roles;
 
-  void Load(em::Context& ctx, em::Array<EdgeT> pivot, std::size_t p0,
+  void Load(em::QuerySession& ctx, em::Array<EdgeT> pivot, std::size_t p0,
             std::size_t p1) {
     const std::size_t csize = p1 - p0;
     chunk.resize(csize);
@@ -178,7 +178,7 @@ struct ResidentChunk {
 /// scanners are constructed here so they stay true locals the compiler can
 /// keep in registers across the opaque sink/work calls.
 template <typename EdgeT>
-void ScanConesSerial(em::Context& ctx, const ResidentChunk<EdgeT>& rc,
+void ScanConesSerial(em::QuerySession& ctx, const ResidentChunk<EdgeT>& rc,
                      em::Array<EdgeT> cone_a, em::Array<EdgeT> cone_b,
                      bool same_cone, TriangleSink& sink) {
   using Access = graph::EdgeAccess<EdgeT>;
@@ -258,7 +258,7 @@ void ScanConesSerial(em::Context& ctx, const ResidentChunk<EdgeT>& rc,
 /// par pool. Work accounting moves from per-item to per-batch AddWork calls
 /// of equal totals.
 template <typename EdgeT>
-void ScanConesPooled(em::Context& ctx, const ResidentChunk<EdgeT>& rc,
+void ScanConesPooled(em::QuerySession& ctx, const ResidentChunk<EdgeT>& rc,
                      em::Array<EdgeT> cone_a, em::Array<EdgeT> cone_b,
                      bool same_cone, TriangleSink& sink) {
   using Access = graph::EdgeAccess<EdgeT>;
@@ -399,7 +399,7 @@ struct PivotEnumOptions {
 /// the same array as `cone_a` and `cone_b` when they coincide (detected by
 /// base address; the stream is then scanned once and feeds both roles).
 template <typename EdgeT>
-void PivotEnumerate(em::Context& ctx, em::Array<EdgeT> cone_a,
+void PivotEnumerate(em::QuerySession& ctx, em::Array<EdgeT> cone_a,
                     em::Array<EdgeT> cone_b, em::Array<EdgeT> pivot,
                     TriangleSink& sink, const PivotEnumOptions& opts = {}) {
   if (pivot.empty() || cone_a.empty() || cone_b.empty()) return;

@@ -43,7 +43,7 @@ struct NeighborByIdLess {
 /// for uncolored edges). The *caller* orders the triple {x,u,w}, applies any
 /// properness filter, and emits. Costs O(sort(E)) I/Os.
 template <typename EdgeT, typename Sorter, typename Fn>
-void EnumerateTrianglesContaining(em::Context& ctx, em::Array<EdgeT> edges,
+void EnumerateTrianglesContaining(em::QuerySession& ctx, em::Array<EdgeT> edges,
                                   graph::VertexId x, Sorter sorter, Fn on_edge) {
   using Access = graph::EdgeAccess<EdgeT>;
   if (edges.size() < 3) return;

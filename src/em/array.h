@@ -26,10 +26,9 @@
 
 namespace trienum::em {
 
-/// How Scanner/Writer move data: block-buffered (default, the fast path) or
-/// record-by-record (the reference accounting path, kept for differential
-/// testing and as the before-side of benchmarks).
-enum class ScanMode { kBuffered, kElementwise };
+// ScanMode itself is defined in em/defs.h (so the QuerySession can carry a
+// per-query preference); the process-wide default lives here with the
+// streams that consume it.
 
 namespace internal {
 inline std::atomic<ScanMode>& DefaultScanModeStorage() {
@@ -93,12 +92,16 @@ class Array {
   static constexpr bool kPacked = sizeof(T) == kWordsPer * sizeof(Word);
 
   Array() = default;
-  Array(Context* ctx, Addr base, std::size_t n) : ctx_(ctx), base_(base), n_(n) {}
+  Array(GraphStore* store, Addr base, std::size_t n)
+      : ctx_(store), base_(base), n_(n) {}
 
   std::size_t size() const { return n_; }
   bool empty() const { return n_ == 0; }
   Addr base() const { return base_; }
-  Context* context() const { return ctx_; }
+  /// The store the array's words live on. Arrays are graph-lifetime state:
+  /// they are bound to a GraphStore, never to a QuerySession, so data
+  /// written under one session stays readable under every later one.
+  GraphStore* store() const { return ctx_; }
 
   /// Word address of element `i` (for witness/residency checks).
   Addr AddrOf(std::size_t i) const { return base_ + i * kWordsPer; }
@@ -248,15 +251,20 @@ class Array {
     }
   }
 
-  Context* ctx_ = nullptr;
+  GraphStore* ctx_ = nullptr;
   Addr base_ = 0;
   std::size_t n_ = 0;
 };
 
 template <typename T>
-Array<T> Context::Alloc(std::size_t n) {
+Array<T> GraphStore::Alloc(std::size_t n) {
   Addr base = device_.Allocate(n * Array<T>::kWordsPer, cfg_.block_words);
   return Array<T>(this, base, n);
+}
+
+template <typename T>
+Array<T> QuerySession::Alloc(std::size_t n) {
+  return store_->Alloc<T>(n);
 }
 
 /// \brief Forward sequential reader over an Array (one scan = n/B reads).
@@ -306,7 +314,7 @@ class Scanner {
     const std::size_t n = a_.size();
     TRIENUM_CHECK(pos_ < n);
     constexpr std::size_t w = Array<T>::kWordsPer;
-    const std::size_t b = a_.context()->block_words();
+    const std::size_t b = a_.store()->block_words();
     const Addr a0 = a_.AddrOf(pos_);
     // End of the last line touched by the current record; buffer every
     // record that finishes within it (at least the current one).
@@ -378,7 +386,7 @@ class Writer {
       // Flush once the pending run reaches the end of the line its first
       // record starts in (one WriteScan per line on a long stream).
       constexpr std::size_t w = Array<T>::kWordsPer;
-      const std::size_t b = a_.context()->block_words();
+      const std::size_t b = a_.store()->block_words();
       const Addr line_end = (a_.AddrOf(pos_) / b + 1) * b;
       flush_at_ = static_cast<std::size_t>((line_end - a_.base() + w - 1) / w);
     }
@@ -415,7 +423,7 @@ class Writer {
 /// at most M/4 words of host scratch (a sequential block-granular scan; the
 /// old record-at-a-time copy cost the same block I/Os but B× the touches).
 template <typename T>
-Array<T> CloneArray(Context& ctx, const Array<T>& src) {
+Array<T> CloneArray(QuerySession& ctx, const Array<T>& src) {
   Array<T> dst = ctx.Alloc<T>(src.size());
   if (src.empty()) return dst;
   constexpr std::size_t w = Array<T>::kWordsPer;

@@ -171,6 +171,21 @@ class Cache {
   /// (Staged dirty data is written back, never dropped.)
   void Reset();
 
+  /// Zeroes the IoStats counters only, leaving residency, recency, dirty
+  /// bits and pins untouched — per-session counting reset without
+  /// disturbing resident lines. A query that must match a fresh context
+  /// bit-for-bit still needs a cold cache (Reset); ResetCounters is for
+  /// re-baselining accounting over a deliberately warm store.
+  void ResetCounters() { stats_ = IoStats{}; }
+
+  /// Number of lines currently resident (in the LRU list), for tests that
+  /// assert ResetCounters leaves residency alone.
+  std::size_t resident_lines() const {
+    std::size_t n = 0;
+    for (std::int32_t s = head_; s >= 0; s = slots_[s].next) ++n;
+    return n;
+  }
+
   /// Enables/disables accounting. While disabled, touches are no-ops; used
   /// when building inputs or verifying outputs outside the measured region.
   void set_counting(bool on) { counting_ = on; }

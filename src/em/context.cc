@@ -2,7 +2,7 @@
 
 namespace trienum::em {
 
-Context::Context(const EmConfig& cfg)
+GraphStore::GraphStore(const EmConfig& cfg)
     : cfg_(cfg),
       device_(MakeStorageBackend(cfg)),
       cache_(cfg.memory_words, cfg.block_words, device_.staging_backend(),
@@ -11,36 +11,37 @@ Context::Context(const EmConfig& cfg)
                     "internal memory must hold at least one block");
 }
 
-ScratchLease::ScratchLease(Context* ctx, std::size_t words)
-    : ctx_(ctx), words_(words) {
-  ctx_->scratch_used_ += words_;
-  TRIENUM_CHECK_MSG(ctx_->scratch_used_ <= ctx_->memory_words(),
+ScratchLease::ScratchLease(QuerySession* session, std::size_t words)
+    : session_(session), words_(words) {
+  session_->scratch_used_ += words_;
+  TRIENUM_CHECK_MSG(session_->scratch_used_ <= session_->memory_words(),
                     "host scratch exceeds internal memory budget M");
 }
 
 ScratchLease::~ScratchLease() {
-  if (ctx_ != nullptr) ctx_->scratch_used_ -= words_;
+  if (session_ != nullptr) session_->scratch_used_ -= words_;
 }
 
 ScratchLease::ScratchLease(ScratchLease&& o) noexcept
-    : ctx_(o.ctx_), words_(o.words_) {
-  o.ctx_ = nullptr;
+    : session_(o.session_), words_(o.words_) {
+  o.session_ = nullptr;
   o.words_ = 0;
 }
 
 ScratchLease& ScratchLease::operator=(ScratchLease&& o) noexcept {
   if (this != &o) {
-    if (ctx_ != nullptr) ctx_->scratch_used_ -= words_;
-    ctx_ = o.ctx_;
+    if (session_ != nullptr) session_->scratch_used_ -= words_;
+    session_ = o.session_;
     words_ = o.words_;
-    o.ctx_ = nullptr;
+    o.session_ = nullptr;
     o.words_ = 0;
   }
   return *this;
 }
 
-DeviceRegion::DeviceRegion(Context* ctx) : ctx_(ctx), mark_(ctx->device().Mark()) {}
+DeviceRegion::DeviceRegion(GraphStore* store)
+    : store_(store), mark_(store->device().Mark()) {}
 
-DeviceRegion::~DeviceRegion() { ctx_->device().Release(mark_); }
+DeviceRegion::~DeviceRegion() { store_->device().Release(mark_); }
 
 }  // namespace trienum::em

@@ -1,7 +1,25 @@
-// Execution context binding together the device (memory- or file-backed,
-// see em/storage.h), the LRU cache, the hierarchy parameters (M, B),
-// scratch-memory accounting and the work counter. Every EM algorithm in the
-// library takes a Context&.
+// The state model of the external-memory layer, split by lifetime:
+//
+//   * GraphStore — graph-lifetime state: the device (memory- or file-backed,
+//     see em/storage.h), the LRU cache with its geometry (M, B), and the
+//     optional probe cache. One store holds one resident data set (typically
+//     a normalized graph) and serves any number of queries over it.
+//
+//   * QuerySession — query-lifetime state: scratch-memory accounting, the
+//     internal-work counter, the RNG seed and the scan-mode preference of
+//     one measured run. A session borrows a GraphStore and forwards its data
+//     path, so algorithm code sees one handle. Sessions are cheap; reusing
+//     one across queries is equivalent (bit-for-bit, including IoStats) to a
+//     fresh session per query as long as each query starts cold
+//     (Cache::Reset) and releases its device region.
+//
+//   * Context — the historical fused object, kept as "a store plus one
+//     session over it": it owns a GraphStore and IS-A QuerySession. Existing
+//     single-run call sites (tests, benches, examples) construct a Context
+//     and hand it to algorithms, which take QuerySession&.
+//
+// See README.md "Query sessions" for the lifetime rules and what is charged
+// when.
 #ifndef TRIENUM_EM_CONTEXT_H_
 #define TRIENUM_EM_CONTEXT_H_
 
@@ -16,7 +34,8 @@
 
 namespace trienum::em {
 
-class Context;
+class GraphStore;
+class QuerySession;
 
 // Typed device array; defined in array.h.
 template <typename T>
@@ -26,13 +45,14 @@ class Array;
 ///
 /// Cache-aware algorithms stage data in buffers of at most M words (run
 /// formation, pivot chunks, merge heaps). Each such buffer takes a lease; the
-/// context checks that the total leased at any instant never exceeds M, which
+/// session checks that the total leased at any instant never exceeds M, which
 /// enforces the model's internal-memory budget. Cache-oblivious algorithms
-/// lease only O(1)-sized buffers.
+/// lease only O(1)-sized buffers. Leases are query-lifetime state: they live
+/// on the QuerySession, never on the store.
 class ScratchLease {
  public:
   ScratchLease() = default;
-  ScratchLease(Context* ctx, std::size_t words);
+  ScratchLease(QuerySession* session, std::size_t words);
   ~ScratchLease();
   ScratchLease(ScratchLease&& o) noexcept;
   ScratchLease& operator=(ScratchLease&& o) noexcept;
@@ -42,7 +62,7 @@ class ScratchLease {
   std::size_t words() const { return words_; }
 
  private:
-  Context* ctx_ = nullptr;
+  QuerySession* session_ = nullptr;
   std::size_t words_ = 0;
 };
 
@@ -51,11 +71,11 @@ class ScratchLease {
 ///
 /// While alive, the line is exempt from eviction, so `data()` stays valid:
 /// it points at the staged line buffer (file backend) or straight into the
-/// MemoryBackend's view. Obtained via Context::PinLine, which charges
+/// MemoryBackend's view. Obtained via GraphStore::PinLine, which charges
 /// exactly one word touch; any further per-record charging is the caller's
-/// job (via Context::TouchRange), keeping IoStats independent of how the
-/// data is physically reached. Do not allocate device memory while holding a
-/// pin (a MemoryBackend grow may move the view).
+/// job (via TouchRange), keeping IoStats independent of how the data is
+/// physically reached. Do not allocate device memory while holding a pin (a
+/// MemoryBackend grow may move the view).
 class PinnedLine {
  public:
   PinnedLine() = default;
@@ -103,22 +123,31 @@ class PinnedLine {
 /// \brief RAII region of device allocations, popped on destruction.
 class DeviceRegion {
  public:
-  explicit DeviceRegion(Context* ctx);
+  explicit DeviceRegion(GraphStore* store);
   ~DeviceRegion();
   DeviceRegion(const DeviceRegion&) = delete;
   DeviceRegion& operator=(const DeviceRegion&) = delete;
 
  private:
-  Context* ctx_;
+  GraphStore* store_;
   Addr mark_;
 };
 
-/// \brief Simulation context: device + cache + (M, B) + counters.
-class Context {
+/// \brief Graph-lifetime state: device + backend + cache geometry (M, B).
+///
+/// The store is the data plane. Every em::Array is bound to a store (not to
+/// a session), so arrays written by one session — e.g. the normalized graph
+/// produced by an uncounted ingest — are readable by every later session
+/// over the same store. The store outlives all of its sessions; it is
+/// neither copyable nor movable (arrays and sessions hold pointers into it).
+class GraphStore {
  public:
-  explicit Context(const EmConfig& cfg);
+  explicit GraphStore(const EmConfig& cfg);
+  GraphStore(const GraphStore&) = delete;
+  GraphStore& operator=(const GraphStore&) = delete;
 
   Device& device() { return device_; }
+  const Device& device() const { return device_; }
   Cache& cache() { return cache_; }
   const Cache& cache() const { return cache_; }
 
@@ -241,7 +270,8 @@ class Context {
 
   const EmConfig& config() const { return cfg_; }
 
-  /// Allocates `n` elements of T on the device, block-aligned.
+  /// Allocates `n` elements of T on the device, block-aligned. The returned
+  /// array is bound to this store, not to any session.
   /// (Declared here; defined in array.h to avoid a cyclic include.)
   template <typename T>
   Array<T> Alloc(std::size_t n);
@@ -249,8 +279,81 @@ class Context {
   /// Opens a device allocation region (freed when the returned object dies).
   DeviceRegion Region() { return DeviceRegion(this); }
 
+ private:
+  EmConfig cfg_;
+  Device device_;
+  Cache cache_;
+  std::unique_ptr<Cache> probe_;
+};
+
+/// \brief Query-lifetime state over a borrowed GraphStore.
+///
+/// Every EM algorithm in the library takes a QuerySession&: the session
+/// forwards the store's data path unchanged and adds the per-query
+/// accounting — host-scratch leases, the internal-work counter, the RNG
+/// seed, and the preferred scan mode. Reusing one session for many queries
+/// is supported and bit-identical to fresh sessions provided each query
+/// starts cold (see query::RunQuery, which enforces the contract).
+class QuerySession {
+ public:
+  explicit QuerySession(GraphStore& store)
+      : store_(&store), seed_(store.config().seed) {}
+  QuerySession(const QuerySession&) = delete;
+  QuerySession& operator=(const QuerySession&) = delete;
+
+  GraphStore& store() { return *store_; }
+  const GraphStore& store() const { return *store_; }
+
+  // --- forwarded data plane (graph-lifetime state) ---------------------
+  Device& device() { return store_->device(); }
+  Cache& cache() { return store_->cache(); }
+  const Cache& cache() const {
+    return static_cast<const GraphStore*>(store_)->cache();
+  }
+  void TouchRange(Addr addr, std::size_t words, bool write) {
+    store_->TouchRange(addr, words, write);
+  }
+  void ReadWords(Addr a, std::size_t words, void* out) {
+    store_->ReadWords(a, words, out);
+  }
+  void WriteWords(Addr a, std::size_t words, const void* in) {
+    store_->WriteWords(a, words, in);
+  }
+  void ReadScan(Addr a, std::size_t words, std::size_t elem_words, void* out) {
+    store_->ReadScan(a, words, elem_words, out);
+  }
+  void TouchScan(Addr a, std::size_t words, std::size_t elem_words) {
+    store_->TouchScan(a, words, elem_words);
+  }
+  void WriteScan(Addr a, std::size_t words, std::size_t elem_words,
+                 const void* in) {
+    store_->WriteScan(a, words, elem_words, in);
+  }
+  Word* DirectData(Addr a) { return store_->DirectData(a); }
+  PinnedLine PinLine(Addr addr, bool write) {
+    return store_->PinLine(addr, write);
+  }
+  void AttachProbe(std::size_t memory_words, std::size_t block_words) {
+    store_->AttachProbe(memory_words, block_words);
+  }
+  Cache* probe() { return store_->probe(); }
+  std::size_t memory_words() const { return store_->memory_words(); }
+  std::size_t block_words() const { return store_->block_words(); }
+  const EmConfig& config() const { return store_->config(); }
+
+  /// Allocates on the store's device (the array is store-bound; it may
+  /// outlive this session if the caller intends graph-lifetime data).
+  /// (Declared here; defined in array.h to avoid a cyclic include.)
+  template <typename T>
+  Array<T> Alloc(std::size_t n);
+
+  DeviceRegion Region() { return store_->Region(); }
+
+  // --- query-lifetime state --------------------------------------------
   /// Leases `words` of host scratch; aborts if the total would exceed M.
-  ScratchLease LeaseScratch(std::size_t words) { return ScratchLease(this, words); }
+  ScratchLease LeaseScratch(std::size_t words) {
+    return ScratchLease(this, words);
+  }
   std::size_t scratch_in_use() const { return scratch_used_; }
 
   /// Internal-work counter (RAM operations), for the paper's O(E^{3/2}) work
@@ -259,16 +362,48 @@ class Context {
   std::uint64_t work() const { return work_; }
   void ResetWork() { work_ = 0; }
 
+  /// Seed of this query's randomized components. Defaults to the store's
+  /// configured master seed; a per-query override makes a reused session
+  /// reproduce exactly what a fresh run with --seed=<s> would.
+  std::uint64_t seed() const { return seed_; }
+  void set_seed(std::uint64_t s) { seed_ = s; }
+
+  /// Preferred Scanner/Writer data path for this query. Advisory: the
+  /// process-wide default (em/array.h) is what Scanner/Writer constructors
+  /// read; query::RunQuery installs this value via ScopedScanMode for the
+  /// duration of the run.
+  ScanMode scan_mode() const { return scan_mode_; }
+  void set_scan_mode(ScanMode m) { scan_mode_ = m; }
+
  private:
   friend class ScratchLease;
-  friend class DeviceRegion;
 
-  EmConfig cfg_;
-  Device device_;
-  Cache cache_;
-  std::unique_ptr<Cache> probe_;
+  GraphStore* store_;
   std::size_t scratch_used_ = 0;
   std::uint64_t work_ = 0;
+  std::uint64_t seed_ = 0;
+  ScanMode scan_mode_ = ScanMode::kBuffered;
+};
+
+namespace internal {
+/// Holds the store of a fused Context; a private base so it is constructed
+/// before the QuerySession base that borrows it.
+struct OwnedStore {
+  explicit OwnedStore(const EmConfig& cfg) : store(cfg) {}
+  GraphStore store;
+};
+}  // namespace internal
+
+/// \brief The fused store + session: one device, one measured run.
+///
+/// Kept as the convenience type for single-query call sites (tests, benches,
+/// examples): constructing a Context is exactly "make a GraphStore, open one
+/// QuerySession over it". Long-lived services hold a GraphStore (via
+/// query::LoadedGraph) and open sessions per query instead.
+class Context : private internal::OwnedStore, public QuerySession {
+ public:
+  explicit Context(const EmConfig& cfg)
+      : internal::OwnedStore(cfg), QuerySession(this->internal::OwnedStore::store) {}
 };
 
 }  // namespace trienum::em

@@ -30,6 +30,7 @@ std::size_t GrownCapacity(std::size_t current, std::size_t want) {
 void MemoryBackend::EnsureSize(std::size_t words) {
   if (words <= storage_.size()) return;
   storage_.resize(GrownCapacity(storage_.size(), words), 0);
+  ++grow_calls_;
 }
 
 void MemoryBackend::ReadWords(Addr addr, std::size_t words, Word* out) {
@@ -92,6 +93,7 @@ void FileBackend::EnsureSize(std::size_t words) {
       ::ftruncate(fd_, static_cast<off_t>(grown * sizeof(Word))) == 0,
       "FileBackend: ftruncate failed (disk full?)");
   size_words_ = grown;
+  ++grow_calls_;
 }
 
 void FileBackend::ReadWords(Addr addr, std::size_t words, Word* out) {

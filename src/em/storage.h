@@ -82,11 +82,18 @@ class StorageBackend {
   /// Real-transfer counters (monotone over the backend's lifetime).
   const StorageTelemetry& telemetry() const { return telemetry_; }
 
+  /// Times the backing storage actually grew (vector resize / ftruncate).
+  /// A GraphStore reused across queries must warm up once and then stay
+  /// flat: queries allocate inside released regions, so no re-create and no
+  /// re-truncate per query (asserted by tests/test_device_properties.cc).
+  std::uint64_t grow_calls() const { return grow_calls_; }
+
   /// Backend identifier ("memory" or "file"), for reports.
   virtual const char* name() const = 0;
 
  protected:
   StorageTelemetry telemetry_;
+  std::uint64_t grow_calls_ = 0;
 };
 
 /// \brief RAM-resident store: the original simulator's flat vector.

@@ -30,7 +30,7 @@ namespace trienum::extsort {
 /// formation, and during merging one loser tree of fan-in
 /// k = max(2, M/(2B)) entries; both are accounted via scratch leases.
 template <typename T, typename Less>
-void ExternalMergeSort(em::Context& ctx, em::Array<T> data, Less less) {
+void ExternalMergeSort(em::QuerySession& ctx, em::Array<T> data, Less less) {
   const std::size_t n = data.size();
   if (n <= 1) return;
   const std::size_t words_per = em::Array<T>::kWordsPer;

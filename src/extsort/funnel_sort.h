@@ -84,7 +84,7 @@ inline std::int32_t BuildFunnelTree(std::vector<FunnelNode>& nodes,
 template <typename T, typename Less>
 class FunnelMerger {
  public:
-  FunnelMerger(em::Context& ctx, em::Array<T> input,
+  FunnelMerger(em::QuerySession& ctx, em::Array<T> input,
                const std::vector<std::pair<std::size_t, std::size_t>>& segs,
                Less less)
       : ctx_(ctx), input_(input), less_(less) {
@@ -289,7 +289,7 @@ class FunnelMerger {
     nodes_.TouchSet(idx);
   }
 
-  em::Context& ctx_;
+  em::QuerySession& ctx_;
   em::Array<T> input_;
   Less less_;
   em::Array<FunnelNode> nodes_;
@@ -304,7 +304,7 @@ class FunnelMerger {
 namespace internal {
 
 template <typename T, typename Less>
-void FunnelSortImpl(em::Context& ctx, em::Array<T> data, Less less,
+void FunnelSortImpl(em::QuerySession& ctx, em::Array<T> data, Less less,
                     std::vector<T>& base_buf) {
   const std::size_t n = data.size();
   if (n <= 1) return;
@@ -353,7 +353,7 @@ void FunnelSortImpl(em::Context& ctx, em::Array<T> data, Less less,
 /// Stable (== std::stable_sort order under `less`): base cases run the
 /// engine's stable run formation and the mergers use the stable winner rule.
 template <typename T, typename Less>
-void FunnelSort(em::Context& ctx, em::Array<T> data, Less less) {
+void FunnelSort(em::QuerySession& ctx, em::Array<T> data, Less less) {
   // One host buffer shared across every base case of the recursion.
   std::vector<T> base_buf;
   internal::FunnelSortImpl(ctx, data, less, base_buf);

@@ -21,7 +21,7 @@ namespace trienum::extsort {
 /// Cache-aware sort policy (uses M and B).
 struct AwareSorter {
   template <typename T, typename Less>
-  void operator()(em::Context& ctx, em::Array<T> data, Less less) const {
+  void operator()(em::QuerySession& ctx, em::Array<T> data, Less less) const {
     ExternalMergeSort(ctx, data, less);
   }
 };
@@ -29,7 +29,7 @@ struct AwareSorter {
 /// Cache-oblivious sort policy (funnelsort; never consults M or B).
 struct ObliviousSorter {
   template <typename T, typename Less>
-  void operator()(em::Context& ctx, em::Array<T> data, Less less) const {
+  void operator()(em::QuerySession& ctx, em::Array<T> data, Less less) const {
     FunnelSort(ctx, data, less);
   }
 };

@@ -41,7 +41,7 @@ struct ByOldIdLess {
 
 }  // namespace
 
-EmGraph NormalizeEdges(em::Context& ctx, em::Array<Edge> raw,
+EmGraph NormalizeEdges(em::QuerySession& ctx, em::Array<Edge> raw,
                        std::vector<VertexId>* new_to_old) {
   if (raw.empty()) {
     if (new_to_old != nullptr) new_to_old->clear();
@@ -167,7 +167,7 @@ EmGraph NormalizeEdges(em::Context& ctx, em::Array<Edge> raw,
   return EmGraph{out_edges, nv, out_deg};
 }
 
-EmGraph BuildEmGraph(em::Context& ctx, const std::vector<Edge>& raw,
+EmGraph BuildEmGraph(em::QuerySession& ctx, const std::vector<Edge>& raw,
                      std::vector<VertexId>* new_to_old) {
   em::Array<Edge> dev = ctx.Alloc<Edge>(raw.size());
   bool was_counting = ctx.cache().counting();
@@ -182,11 +182,11 @@ EmGraph BuildEmGraph(em::Context& ctx, const std::vector<Edge>& raw,
 std::vector<Edge> DownloadEdges(const EmGraph& g) {
   std::vector<Edge> out(g.num_edges());
   if (g.num_edges() == 0) return out;
-  em::Context* ctx = g.edges.context();
-  bool was_counting = ctx->cache().counting();
-  ctx->cache().set_counting(false);
+  em::GraphStore* store = g.edges.store();
+  bool was_counting = store->cache().counting();
+  store->cache().set_counting(false);
   g.edges.ReadTo(0, g.num_edges(), out.data());
-  ctx->cache().set_counting(was_counting);
+  store->cache().set_counting(was_counting);
   return out;
 }
 

@@ -30,11 +30,11 @@ struct EmGraph {
 /// Normalizes an on-device edge array (arbitrary ids, possible self-loops
 /// and duplicates) into an EmGraph. Costs O(sort(E)) I/Os, all counted.
 /// If `new_to_old` is non-null it receives the inverse relabeling.
-EmGraph NormalizeEdges(em::Context& ctx, em::Array<Edge> raw,
+EmGraph NormalizeEdges(em::QuerySession& ctx, em::Array<Edge> raw,
                        std::vector<VertexId>* new_to_old = nullptr);
 
 /// Uploads host edges to the device and normalizes them.
-EmGraph BuildEmGraph(em::Context& ctx, const std::vector<Edge>& raw,
+EmGraph BuildEmGraph(em::QuerySession& ctx, const std::vector<Edge>& raw,
                      std::vector<VertexId>* new_to_old = nullptr);
 
 /// Reads the normalized edges back to the host without touching I/O

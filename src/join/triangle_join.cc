@@ -28,7 +28,7 @@ class Dictionary {
 
 }  // namespace
 
-Result<std::vector<Tuple3>> TriangleJoin(em::Context& ctx, const Decomposition& d,
+Result<std::vector<Tuple3>> TriangleJoin(em::QuerySession& ctx, const Decomposition& d,
                                          std::string_view algorithm,
                                          TriangleJoinStats* stats) {
   const core::AlgorithmInfo* algo = core::FindAlgorithm(algorithm);

@@ -29,7 +29,7 @@ struct TriangleJoinStats {
 /// Joins the three binary relations via triangle enumeration under the EM
 /// context `ctx` using the named algorithm (see core::FindAlgorithm).
 /// Returns the joined tuples, sorted; fills `stats` if non-null.
-Result<std::vector<Tuple3>> TriangleJoin(em::Context& ctx, const Decomposition& d,
+Result<std::vector<Tuple3>> TriangleJoin(em::QuerySession& ctx, const Decomposition& d,
                                          std::string_view algorithm,
                                          TriangleJoinStats* stats = nullptr);
 

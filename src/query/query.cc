@@ -1,0 +1,165 @@
+#include "query/query.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <utility>
+
+#include "core/algorithms.h"
+#include "core/sink.h"
+#include "par/par_config.h"
+
+namespace trienum::query {
+
+namespace {
+
+/// Per-vertex accumulator: every emitted triangle increments its three
+/// corners. Order-invariant, so identical for every algorithm.
+class PerVertexSink : public core::TriangleSink {
+ public:
+  explicit PerVertexSink(std::size_t num_vertices) : counts_(num_vertices, 0) {}
+  void Emit(graph::VertexId a, graph::VertexId b, graph::VertexId c) override {
+    ++counts_[a];
+    ++counts_[b];
+    ++counts_[c];
+    ++total_;
+  }
+  std::vector<std::uint64_t> TakeCounts() { return std::move(counts_); }
+  std::uint64_t total() const { return total_; }
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Per-edge accumulator: a triangle (a < b < c) supports its three edges
+/// (a,b), (a,c), (b,c). The ordered map makes the output lex-sorted and
+/// independent of emission order.
+class PerEdgeSink : public core::TriangleSink {
+ public:
+  void Emit(graph::VertexId a, graph::VertexId b, graph::VertexId c) override {
+    ++support_[{a, b}];
+    ++support_[{a, c}];
+    ++support_[{b, c}];
+    ++total_;
+  }
+  std::vector<EdgeSupport> TakeSupport() const {
+    std::vector<EdgeSupport> out;
+    out.reserve(support_.size());
+    for (const auto& [uv, n] : support_) {
+      out.push_back(EdgeSupport{graph::Edge{uv.first, uv.second}, n});
+    }
+    return out;
+  }
+  std::uint64_t total() const { return total_; }
+
+ private:
+  std::map<std::pair<graph::VertexId, graph::VertexId>, std::uint64_t> support_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace
+
+Result<QueryResult> RunQuery(em::QuerySession& session,
+                             const graph::EmGraph& g, const Query& q) {
+  const core::AlgorithmInfo* info = core::FindAlgorithm(q.algo);
+  if (info == nullptr) {
+    return Status::NotFound("unknown algorithm '" + q.algo +
+                            "' (see `trienum list`)");
+  }
+
+  // Install the run's process-wide knobs for the duration (threads and the
+  // Scanner/Writer default mode), and resolve the query seed onto the
+  // session. Neither threads nor scan mode may change results or IoStats;
+  // the differential suite runs the matrix to prove it.
+  par::ScopedThreads threads(q.threads);
+  em::ScopedScanMode scan(q.scan_mode);
+  session.set_scan_mode(q.scan_mode);
+  session.set_seed(q.seed != 0 ? q.seed : session.config().seed);
+
+  // Cold-start contract: the query's allocations live in a region opened at
+  // the current (frozen) top, the cache starts empty with zeroed counters,
+  // and the work / peak trackers restart. This is exactly the state a fresh
+  // em::Context presents right after an uncounted normalize, which is what
+  // makes session reuse bit-identical to fresh runs.
+  em::DeviceRegion region = session.Region();
+  session.cache().Reset();
+  session.ResetWork();
+  session.device().ResetPeak();
+
+  core::CountingSink count_sink;
+  core::CollectingSink collect_sink;
+  PerVertexSink vertex_sink(g.num_vertices);
+  PerEdgeSink edge_sink;
+  core::TriangleSink* sink = nullptr;
+  switch (q.kind) {
+    case QueryKind::kCount: sink = &count_sink; break;
+    case QueryKind::kEnumerate: sink = &collect_sink; break;
+    case QueryKind::kPerVertex: sink = &vertex_sink; break;
+    case QueryKind::kPerEdge: sink = &edge_sink; break;
+  }
+  TRIENUM_CHECK(sink != nullptr);
+
+  em::StorageTelemetry tel_before = session.device().backend().telemetry();
+  auto t0 = std::chrono::steady_clock::now();
+  info->run(session, g, *sink);
+  session.cache().FlushAll();
+  auto t1 = std::chrono::steady_clock::now();
+
+  QueryResult r;
+  r.io = session.cache().stats();
+  r.work = session.work();
+  r.device_peak_words = session.device().peak_words();
+  r.telemetry = session.device().backend().telemetry() - tel_before;
+  r.wall_ms = std::chrono::duration_cast<
+                  std::chrono::duration<double, std::milli>>(t1 - t0)
+                  .count();
+  r.seed_used = session.seed();
+  r.threads_used = par::Threads();
+
+  switch (q.kind) {
+    case QueryKind::kCount:
+      r.triangles = count_sink.count();
+      break;
+    case QueryKind::kEnumerate:
+      r.triangles = collect_sink.triangles().size();
+      r.list = std::move(collect_sink.mutable_triangles());
+      if (q.limit != 0 && r.list.size() > q.limit) r.list.resize(q.limit);
+      break;
+    case QueryKind::kPerVertex:
+      r.triangles = vertex_sink.total();
+      r.per_vertex = vertex_sink.TakeCounts();
+      break;
+    case QueryKind::kPerEdge:
+      r.triangles = edge_sink.total();
+      r.per_edge = edge_sink.TakeSupport();
+      break;
+  }
+  return r;
+}
+
+LoadedGraph LoadedGraph::FromEdges(const em::EmConfig& cfg,
+                                   const std::vector<graph::Edge>& raw) {
+  LoadedGraph lg;
+  lg.store_ = std::make_unique<em::GraphStore>(cfg);
+  lg.session_ = std::make_unique<em::QuerySession>(*lg.store_);
+  // Ingest + normalize uncounted, exactly like the single-run drivers: the
+  // input is assumed to already live on disk, so building the canonical
+  // layout is not part of any query's measured I/O.
+  lg.store_->cache().set_counting(false);
+  lg.graph_ = graph::BuildEmGraph(*lg.session_, raw);
+  lg.store_->cache().set_counting(true);
+  lg.frozen_mark_ = lg.store_->device().Mark();
+  return lg;
+}
+
+Result<QueryResult> LoadedGraph::Run(const Query& q) {
+  // Region discipline must have returned the device to the frozen mark;
+  // anything else means a previous query leaked allocations and the
+  // address-identity guarantee is gone.
+  TRIENUM_CHECK_MSG(store_->device().Mark() == frozen_mark_,
+                    "device top drifted from the frozen mark between queries");
+  return RunQuery(*session_, graph_, q);
+}
+
+}  // namespace trienum::query

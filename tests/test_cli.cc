@@ -2,6 +2,7 @@
 // (path injected by tests/CMakeLists.txt as TRIENUM_CLI_PATH) and checks
 // `list` against the registry and `count` against the host reference.
 #include <sys/wait.h>
+#include <unistd.h>
 
 #include <array>
 #include <cstdio>
@@ -164,6 +165,117 @@ TEST(CliSmoke, ThreadsDefaultIsOne) {
 
 TEST(CliSmoke, InvalidThreadsFails) {
   RunCli("count --algo=mgt --graph=clique:k=5 --threads=lots",
+         /*expected_status=*/2);
+}
+
+TEST(CliSmoke, SeedIsEchoedInTheReport) {
+  std::string out = RunCli(
+      "count --algo=ps-cache-aware --graph=clique:k=6 --memory=1024"
+      " --block=16 --seed=424242");
+  EXPECT_EQ(ReportValue(out, "seed"), "424242");
+  // Default master seed when --seed is absent.
+  std::string def = RunCli(
+      "count --algo=ps-cache-aware --graph=clique:k=6 --memory=1024 --block=16");
+  EXPECT_EQ(ReportValue(def, "seed"), "2014");
+}
+
+TEST(CliSmoke, UnknownOptionFailsWithUsageHint) {
+  RunCli("count --algo=mgt --graph=clique:k=5 --definitely-bogus=1",
+         /*expected_status=*/2);
+  // --script is a `trienum query` option; count must still reject it.
+  RunCli("count --algo=mgt --graph=clique:k=5 --script=/dev/null",
+         /*expected_status=*/2);
+}
+
+// Writes `content` to a unique temp file and returns its path; the file is
+// removed when the returned guard dies.
+struct TempScript {
+  std::string path;
+  explicit TempScript(const std::string& content) {
+    char tmpl[] = "/tmp/trienum-test-script-XXXXXX";
+    int fd = mkstemp(tmpl);
+    EXPECT_GE(fd, 0);
+    path = tmpl;
+    EXPECT_EQ(write(fd, content.data(), content.size()),
+              static_cast<ssize_t>(content.size()));
+    close(fd);
+  }
+  ~TempScript() { unlink(path.c_str()); }
+};
+
+TEST(CliQuery, ScriptAnswersEveryQueryWithPerQueryIo) {
+  TempScript script(
+      "# comment line\n"
+      "count --algo=mgt\n"
+      "\n"
+      "count --algo=ps-cache-aware --seed=77\n"
+      "enumerate --algo=ps-deterministic --limit=2\n");
+  std::string out = RunCli("query --graph=clique:k=8 --memory=1024 --block=16"
+                           " --script=" + script.path);
+  EXPECT_EQ(ReportValue(out, "queries"), "3");
+  // Every query reports its own measurement block; all count C(8,3) = 56.
+  std::size_t pos = 0;
+  int blocks = 0;
+  while ((pos = out.find("triangles = ", pos)) != std::string::npos) {
+    ++blocks;
+    pos += 1;
+  }
+  EXPECT_EQ(blocks, 3);
+  EXPECT_EQ(ReportValue(out, "triangles"), "56");
+  EXPECT_NE(out.find("query = 3"), std::string::npos) << out;
+  EXPECT_NE(out.find("kind = enumerate"), std::string::npos) << out;
+  EXPECT_NE(out.find("triangle 0 1 2"), std::string::npos) << out;
+  // Per-query seed echo: the second query overrides the master seed.
+  EXPECT_NE(out.find("seed = 77"), std::string::npos) << out;
+}
+
+TEST(CliQuery, RepeatedQueryReportsIdenticalIoToItsFirstRun) {
+  // The session-reuse invariant through the CLI: the same query run twice in
+  // one batch must report bit-identical I/O counters both times.
+  TempScript script(
+      "count --algo=ps-cache-aware\n"
+      "count --algo=mgt\n"
+      "count --algo=ps-cache-aware\n");
+  std::string out = RunCli(
+      "query --graph=rmat:scale=7,m=900,seed=5 --memory=2048 --block=32"
+      " --script=" + script.path);
+  std::size_t q1 = out.find("query = 1");
+  std::size_t q2 = out.find("query = 2");
+  std::size_t q3 = out.find("query = 3");
+  ASSERT_NE(q1, std::string::npos);
+  ASSERT_NE(q3, std::string::npos);
+  std::string first = out.substr(q1, q2 - q1);
+  std::string third = out.substr(q3);
+  for (const char* key : {"triangles", "block_reads", "block_writes",
+                          "block_ios", "internal_work", "device_peak_words"}) {
+    EXPECT_EQ(ReportValue(first, key), ReportValue(third, key)) << key;
+  }
+}
+
+TEST(CliQuery, PerVertexAndPerEdgeKindsWork) {
+  TempScript script(
+      "per-vertex --limit=3\n"
+      "per-edge --limit=3\n");
+  std::string out = RunCli("query --graph=cycle:n=3 --memory=1024 --block=16"
+                           " --script=" + script.path);
+  // One triangle: every vertex in it once, every edge supporting it once.
+  EXPECT_NE(out.find("vertex 0 1"), std::string::npos) << out;
+  EXPECT_NE(out.find("edge-support 0 1 1"), std::string::npos) << out;
+  EXPECT_EQ(ReportValue(out, "triangles"), "1");
+}
+
+TEST(CliQuery, MissingScriptFails) {
+  RunCli("query --graph=clique:k=5", /*expected_status=*/2);
+  RunCli("query --graph=clique:k=5 --script=/nonexistent-trienum-script",
+         /*expected_status=*/2);
+}
+
+TEST(CliQuery, BadScriptLineFails) {
+  TempScript script("frobnicate --algo=mgt\n");
+  RunCli("query --graph=clique:k=5 --script=" + script.path,
+         /*expected_status=*/2);
+  TempScript script2("count --bogus=1\n");
+  RunCli("query --graph=clique:k=5 --script=" + script2.path,
          /*expected_status=*/2);
 }
 

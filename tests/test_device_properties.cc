@@ -11,6 +11,8 @@
 
 #include "common/rng.h"
 #include "em/device.h"
+#include "graph/generators.h"
+#include "query/query.h"
 
 namespace trienum {
 namespace {
@@ -121,6 +123,40 @@ TEST(DeviceProperty, BlockAlignedAllocationsNeverShareACacheLine) {
         }
         live.back().push_back(e);
       }
+    }
+  }
+}
+
+TEST(DeviceProperty, StoreReuseKeepsBackendWarmAndRegionDisciplineIntact) {
+  // A GraphStore serving many queries must reuse its backing storage: the
+  // first query may grow the backend (vector resize / ftruncate of the
+  // unlinked temp file), but later queries allocate inside released regions
+  // at the same addresses, so the backend never re-creates or re-truncates —
+  // grow_calls stays flat and the device top returns to the frozen mark
+  // after every query.
+  for (em::StorageKind storage :
+       {em::StorageKind::kMemory, em::StorageKind::kFile}) {
+    SCOPED_TRACE(storage == em::StorageKind::kFile ? "file" : "memory");
+    em::EmConfig cfg;
+    cfg.memory_words = 1024;
+    cfg.block_words = kBlock;
+    cfg.storage = storage;
+    query::LoadedGraph lg =
+        query::LoadedGraph::FromEdges(cfg, graph::Gnm(128, 500, 0x11));
+
+    query::Query q;
+    q.algo = "mgt";
+    ASSERT_TRUE(lg.Run(q).ok());  // warm-up query: may grow the backend
+    const std::uint64_t warm = lg.store().device().backend().grow_calls();
+    const std::size_t warm_size = lg.store().device().backend().size_words();
+
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(lg.Run(q).ok());
+      EXPECT_EQ(lg.store().device().backend().grow_calls(), warm)
+          << "query " << i + 2 << " re-grew the backing storage";
+      EXPECT_EQ(lg.store().device().backend().size_words(), warm_size);
+      EXPECT_EQ(lg.store().device().Mark(), lg.frozen_mark())
+          << "query " << i + 2 << " broke region discipline";
     }
   }
 }

@@ -13,6 +13,7 @@
 // Graph specs are either a path to a whitespace-separated edge list (SNAP
 // convention) or `<generator>:key=value,...`; run `trienum help` for the
 // full generator table.
+#include <cctype>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -33,6 +34,7 @@
 #include "graph/graph_io.h"
 #include "graph/normalize.h"
 #include "par/par_config.h"
+#include "query/query.h"
 
 namespace {
 
@@ -45,9 +47,15 @@ constexpr char kUsage[] =
     "  list                      show every registered algorithm\n"
     "  count                     run an algorithm, report the triangle count\n"
     "  enumerate                 like count, but also print the triangles\n"
+    "  query                     load the graph once, answer a script of\n"
+    "                            queries (--script=<file>), one report each\n"
     "  help                      show this message with the generator table\n"
     "\n"
-    "options (count / enumerate):\n"
+    "query scripts (one query per line; '#' starts a comment):\n"
+    "  <count|enumerate|per-vertex|per-edge> [--algo=] [--seed=] [--limit=]\n"
+    "                                        [--threads=]\n"
+    "\n"
+    "options (count / enumerate / query):\n"
     "  --algo=<name>             algorithm name from `trienum list`, or\n"
     "                            `reference` for the host ground truth\n"
     "  --graph=<spec>            generator spec or edge-list file path\n"
@@ -99,6 +107,7 @@ struct Options {
   em::StorageKind backend = em::StorageKind::kMemory;
   std::string temp_dir;
   std::size_t threads = 1;
+  std::string script;  // `trienum query` only
 };
 
 std::uint64_t ParseU64(const std::string& key, const std::string& value) {
@@ -124,13 +133,18 @@ double ParseF64(const std::string& key, const std::string& value) {
   return v;
 }
 
-Options ParseOptions(int argc, char** argv) {
+Options ParseOptions(int argc, char** argv, bool query_mode = false) {
   Options opt;
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
-    if (arg.rfind("--", 0) != 0) Die("unexpected argument '" + arg + "'");
+    if (arg.rfind("--", 0) != 0) {
+      Die("unexpected argument '" + arg + "' (run `trienum help` for usage)");
+    }
     std::size_t eq = arg.find('=');
-    if (eq == std::string::npos) Die("options take the form --key=value: " + arg);
+    if (eq == std::string::npos) {
+      Die("options take the form --key=value: " + arg +
+          " (run `trienum help` for the option table)");
+    }
     std::string key = arg.substr(2, eq - 2);
     std::string value = arg.substr(eq + 1);
     if (key == "algo") {
@@ -157,8 +171,11 @@ Options ParseOptions(int argc, char** argv) {
       opt.temp_dir = value;
     } else if (key == "threads") {
       opt.threads = ParseU64(key, value);
+    } else if (query_mode && key == "script") {
+      opt.script = value;
     } else {
-      Die("unknown option --" + key);
+      Die("unknown option --" + key +
+          " (run `trienum help` for the option table)");
     }
   }
   if (opt.memory_words == 0 || opt.block_words == 0) {
@@ -339,11 +356,104 @@ void PrintTriangles(const std::vector<graph::Triangle>& tris, std::size_t limit)
   }
 }
 
+em::EmConfig MakeEmConfig(const Options& opt) {
+  em::EmConfig cfg;
+  cfg.memory_words = opt.memory_words;
+  cfg.block_words = opt.block_words;
+  cfg.seed = opt.seed;
+  cfg.storage = opt.backend;
+  cfg.temp_dir = opt.temp_dir;
+  return cfg;
+}
+
+/// The per-run measurement block shared by count / enumerate / query:
+/// everything a single query produced, in the established `key = value`
+/// report format.
+void PrintMeasurements(const query::QueryResult& r, std::size_t num_edges,
+                       std::size_t memory_words, std::size_t block_words) {
+  double bound =
+      core::PaghSilvestriIoBound(num_edges, memory_words, block_words);
+  double lower = core::IoLowerBound(r.triangles, memory_words, block_words);
+  std::printf("threads = %zu\n", r.threads_used);
+  std::printf("seed = %llu\n", static_cast<unsigned long long>(r.seed_used));
+  std::printf("triangles = %llu\n",
+              static_cast<unsigned long long>(r.triangles));
+  std::printf("block_reads = %llu\n",
+              static_cast<unsigned long long>(r.io.block_reads));
+  std::printf("block_writes = %llu\n",
+              static_cast<unsigned long long>(r.io.block_writes));
+  std::printf("block_ios = %llu\n",
+              static_cast<unsigned long long>(r.io.total_ios()));
+  std::printf("wall_ms = %.2f\n", r.wall_ms);
+  std::printf("real_read_calls = %llu\n",
+              static_cast<unsigned long long>(r.telemetry.read_calls));
+  std::printf("real_write_calls = %llu\n",
+              static_cast<unsigned long long>(r.telemetry.write_calls));
+  std::printf("real_bytes_read = %llu\n",
+              static_cast<unsigned long long>(r.telemetry.bytes_read));
+  std::printf("real_bytes_written = %llu\n",
+              static_cast<unsigned long long>(r.telemetry.bytes_written));
+  std::printf("device_peak_words = %zu\n", r.device_peak_words);
+  std::printf("internal_work = %llu\n",
+              static_cast<unsigned long long>(r.work));
+  std::printf("predicted_bound = %.0f\n", bound);
+  std::printf("measured_over_bound = %.2f\n",
+              bound > 0 ? static_cast<double>(r.io.total_ios()) / bound : 0.0);
+  std::printf("lower_bound = %.0f\n", lower);
+}
+
+/// The query's payload lines (before the measurement block): triangles for
+/// enumerate, nonzero per-vertex / per-edge counts otherwise, all capped at
+/// `limit` with a "... (N more)" tail.
+void PrintPayload(const query::Query& q, const query::QueryResult& r,
+                  std::size_t limit) {
+  switch (q.kind) {
+    case query::QueryKind::kCount:
+      break;
+    case query::QueryKind::kEnumerate: {
+      for (std::size_t i = 0; i < r.list.size() && i < limit; ++i) {
+        std::printf("triangle %u %u %u\n", r.list[i].a, r.list[i].b,
+                    r.list[i].c);
+      }
+      if (r.triangles > limit) {
+        std::printf("... (%llu more)\n",
+                    static_cast<unsigned long long>(r.triangles - limit));
+      }
+      break;
+    }
+    case query::QueryKind::kPerVertex: {
+      std::size_t shown = 0, nonzero = 0;
+      for (std::size_t v = 0; v < r.per_vertex.size(); ++v) {
+        if (r.per_vertex[v] == 0) continue;
+        ++nonzero;
+        if (shown < limit) {
+          std::printf("vertex %zu %llu\n", v,
+                      static_cast<unsigned long long>(r.per_vertex[v]));
+          ++shown;
+        }
+      }
+      if (nonzero > shown) {
+        std::printf("... (%zu more)\n", nonzero - shown);
+      }
+      break;
+    }
+    case query::QueryKind::kPerEdge: {
+      for (std::size_t i = 0; i < r.per_edge.size() && i < limit; ++i) {
+        std::printf("edge-support %u %u %llu\n", r.per_edge[i].e.u,
+                    r.per_edge[i].e.v,
+                    static_cast<unsigned long long>(r.per_edge[i].count));
+      }
+      if (r.per_edge.size() > limit) {
+        std::printf("... (%zu more)\n", r.per_edge.size() - limit);
+      }
+      break;
+    }
+  }
+}
+
 int CmdRun(const Options& opt, bool enumerate) {
   const bool is_reference = opt.algo == "reference";
-  const core::AlgorithmInfo* info =
-      is_reference ? nullptr : core::FindAlgorithm(opt.algo);
-  if (!is_reference && info == nullptr) {
+  if (!is_reference && core::FindAlgorithm(opt.algo) == nullptr) {
     Die("unknown algorithm '" + opt.algo + "' (see `trienum list`)");
   }
 
@@ -364,91 +474,166 @@ int CmdRun(const Options& opt, bool enumerate) {
     return 0;
   }
 
-  // 0 resolves to the hardware concurrency; report the resolved value. The
-  // thread count changes wall clock only — triangles, emission order, and
-  // every I/O counter below are invariant in it.
-  par::SetThreads(opt.threads);
-  std::fprintf(stderr, "[par] %zu host compute thread(s)\n", par::Threads());
-
-  em::EmConfig cfg;
-  cfg.memory_words = opt.memory_words;
-  cfg.block_words = opt.block_words;
-  cfg.seed = opt.seed;
-  cfg.storage = opt.backend;
-  cfg.temp_dir = opt.temp_dir;
-  em::Context ctx(cfg);
-  std::fprintf(stderr, "[storage] %s backend\n", ctx.device().backend().name());
-
-  std::fprintf(stderr, "[normalize] degree-rank relabel + lexicographic sort (uncounted)\n");
-  ctx.cache().set_counting(false);
-  graph::EmGraph g = graph::BuildEmGraph(ctx, raw);
-  ctx.cache().set_counting(true);
+  std::fprintf(stderr,
+               "[normalize] degree-rank relabel + lexicographic sort (uncounted)\n");
+  query::LoadedGraph lg = query::LoadedGraph::FromEdges(MakeEmConfig(opt), raw);
+  const graph::EmGraph& g = lg.graph();
+  std::fprintf(stderr, "[storage] %s backend\n",
+               lg.store().device().backend().name());
   std::fprintf(stderr, "[normalize] E=%zu edges over V=%u vertices\n",
                g.num_edges(), g.num_vertices);
 
+  query::Query q;
+  q.kind = enumerate ? query::QueryKind::kEnumerate : query::QueryKind::kCount;
+  q.algo = opt.algo;
+  q.threads = opt.threads;
   std::fprintf(stderr, "[run] %s with M=%zu words, B=%zu words (cold cache)\n",
-               opt.algo.c_str(), cfg.memory_words, cfg.block_words);
-  ctx.cache().Reset();
-  ctx.ResetWork();
-  core::CountingSink count_sink;
-  core::CollectingSink collect_sink;
-  core::TriangleSink& sink =
-      enumerate ? static_cast<core::TriangleSink&>(collect_sink)
-                : static_cast<core::TriangleSink&>(count_sink);
-  em::StorageTelemetry tel_before = ctx.device().backend().telemetry();
-  auto t0 = std::chrono::steady_clock::now();
-  info->run(ctx, g, sink);
-  ctx.cache().FlushAll();
-  auto t1 = std::chrono::steady_clock::now();
-  em::StorageTelemetry tel =
-      ctx.device().backend().telemetry() - tel_before;
-  double wall_ms =
-      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(t1 - t0)
-          .count();
-  std::fprintf(stderr, "[run] done in %.1f ms\n", wall_ms);
+               opt.algo.c_str(), opt.memory_words, opt.block_words);
+  Result<query::QueryResult> rr = lg.Run(q);
+  if (!rr.ok()) Die(rr.status().ToString());
+  const query::QueryResult& r = *rr;
+  std::fprintf(stderr, "[run] done in %.1f ms\n", r.wall_ms);
 
-  std::uint64_t triangles =
-      enumerate ? collect_sink.triangles().size() : count_sink.count();
-  const em::IoStats& io = ctx.cache().stats();
-  double bound = core::PaghSilvestriIoBound(g.num_edges(), cfg.memory_words,
-                                            cfg.block_words);
-  double lower = core::IoLowerBound(triangles, cfg.memory_words, cfg.block_words);
-
-  if (enumerate) {
-    PrintTriangles(collect_sink.triangles(), opt.limit);
-  }
-
+  PrintPayload(q, r, opt.limit);
   std::printf("algorithm = %s\n", opt.algo.c_str());
   std::printf("graph = %s\n", opt.graph.c_str());
-  std::printf("backend = %s\n", ctx.device().backend().name());
+  std::printf("backend = %s\n", lg.store().device().backend().name());
   std::printf("edges = %zu\n", g.num_edges());
   std::printf("vertices = %u\n", g.num_vertices);
-  std::printf("memory_words = %zu\n", cfg.memory_words);
-  std::printf("block_words = %zu\n", cfg.block_words);
-  std::printf("threads = %zu\n", par::Threads());
-  std::printf("triangles = %llu\n", static_cast<unsigned long long>(triangles));
-  std::printf("block_reads = %llu\n",
-              static_cast<unsigned long long>(io.block_reads));
-  std::printf("block_writes = %llu\n",
-              static_cast<unsigned long long>(io.block_writes));
-  std::printf("block_ios = %llu\n",
-              static_cast<unsigned long long>(io.total_ios()));
-  std::printf("wall_ms = %.2f\n", wall_ms);
-  std::printf("real_read_calls = %llu\n",
-              static_cast<unsigned long long>(tel.read_calls));
-  std::printf("real_write_calls = %llu\n",
-              static_cast<unsigned long long>(tel.write_calls));
-  std::printf("real_bytes_read = %llu\n",
-              static_cast<unsigned long long>(tel.bytes_read));
-  std::printf("real_bytes_written = %llu\n",
-              static_cast<unsigned long long>(tel.bytes_written));
-  std::printf("device_peak_words = %zu\n", ctx.device().peak_words());
-  std::printf("internal_work = %llu\n",
-              static_cast<unsigned long long>(ctx.work()));
-  std::printf("predicted_bound = %.0f\n", bound);
-  std::printf("measured_over_bound = %.2f\n",
-              bound > 0 ? static_cast<double>(io.total_ios()) / bound : 0.0);
-  std::printf("lower_bound = %.0f\n", lower);
+  std::printf("memory_words = %zu\n", opt.memory_words);
+  std::printf("block_words = %zu\n", opt.block_words);
+  PrintMeasurements(r, g.num_edges(), opt.memory_words, opt.block_words);
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// `trienum query`: load once, answer a script of queries.
+
+query::QueryKind ParseKind(const std::string& tok, std::size_t line_no) {
+  if (tok == "count") return query::QueryKind::kCount;
+  if (tok == "enumerate") return query::QueryKind::kEnumerate;
+  if (tok == "per-vertex") return query::QueryKind::kPerVertex;
+  if (tok == "per-edge") return query::QueryKind::kPerEdge;
+  Die("script line " + std::to_string(line_no) + ": unknown query kind '" +
+      tok + "' (count, enumerate, per-vertex, per-edge)");
+}
+
+struct ScriptQuery {
+  query::Query q;
+  std::size_t limit;  // payload print cap for this query
+};
+
+/// Parses one script line: `<kind> [--algo=] [--seed=] [--limit=]
+/// [--threads=]`. Defaults come from the command-line options, so a script
+/// only states what differs per query.
+ScriptQuery ParseScriptLine(const std::string& line, std::size_t line_no,
+                            const Options& opt) {
+  std::vector<std::string> toks;
+  std::size_t pos = 0;
+  while (pos < line.size()) {
+    while (pos < line.size() && std::isspace(static_cast<unsigned char>(line[pos]))) ++pos;
+    std::size_t start = pos;
+    while (pos < line.size() && !std::isspace(static_cast<unsigned char>(line[pos]))) ++pos;
+    if (pos > start) toks.push_back(line.substr(start, pos - start));
+  }
+  TRIENUM_CHECK(!toks.empty());
+
+  ScriptQuery sq;
+  sq.q.algo = opt.algo;
+  sq.q.threads = opt.threads;
+  sq.limit = opt.limit;
+  sq.q.kind = ParseKind(toks[0], line_no);
+  for (std::size_t i = 1; i < toks.size(); ++i) {
+    const std::string& t = toks[i];
+    std::size_t eq = t.find('=');
+    if (t.rfind("--", 0) != 0 || eq == std::string::npos) {
+      Die("script line " + std::to_string(line_no) +
+          ": query options take the form --key=value: '" + t + "'");
+    }
+    std::string key = t.substr(2, eq - 2);
+    std::string value = t.substr(eq + 1);
+    if (key == "algo") {
+      sq.q.algo = value;
+    } else if (key == "seed") {
+      sq.q.seed = ParseU64(key, value);
+    } else if (key == "limit") {
+      sq.limit = ParseU64(key, value);
+    } else if (key == "threads") {
+      sq.q.threads = ParseU64(key, value);
+    } else {
+      Die("script line " + std::to_string(line_no) + ": unknown option --" +
+          key + " (allowed: --algo, --seed, --limit, --threads)");
+    }
+  }
+  if (core::FindAlgorithm(sq.q.algo) == nullptr) {
+    Die("script line " + std::to_string(line_no) + ": unknown algorithm '" +
+        sq.q.algo + "' (see `trienum list`)");
+  }
+  return sq;
+}
+
+std::vector<ScriptQuery> LoadScript(const std::string& path, const Options& opt) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) Die("cannot open script '" + path + "'");
+  std::vector<ScriptQuery> out;
+  std::string line;
+  std::size_t line_no = 0;
+  char buf[4096];
+  while (std::fgets(buf, sizeof(buf), f) != nullptr) {
+    ++line_no;
+    line.assign(buf);
+    std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    bool blank = true;
+    for (char c : line) blank = blank && std::isspace(static_cast<unsigned char>(c));
+    if (blank) continue;
+    out.push_back(ParseScriptLine(line, line_no, opt));
+  }
+  std::fclose(f);
+  if (out.empty()) Die("script '" + path + "' contains no queries");
+  return out;
+}
+
+int CmdQuery(const Options& opt) {
+  if (opt.script.empty()) {
+    Die("`trienum query` needs --script=<file> (one query per line)");
+  }
+  // Parse the whole script up front so a typo on line 40 dies before the
+  // (possibly expensive) load, not after 39 answered queries.
+  std::vector<ScriptQuery> script = LoadScript(opt.script, opt);
+
+  std::fprintf(stderr, "[graph] building '%s'\n", opt.graph.c_str());
+  std::vector<graph::Edge> raw = MakeGraph(opt);
+  std::fprintf(stderr, "[graph] %zu raw edges\n", raw.size());
+  query::LoadedGraph lg = query::LoadedGraph::FromEdges(MakeEmConfig(opt), raw);
+  const graph::EmGraph& g = lg.graph();
+  std::fprintf(stderr, "[normalize] E=%zu edges over V=%u vertices (uncounted)\n",
+               g.num_edges(), g.num_vertices);
+
+  // Shared header: graph-lifetime facts, printed once.
+  std::printf("graph = %s\n", opt.graph.c_str());
+  std::printf("backend = %s\n", lg.store().device().backend().name());
+  std::printf("edges = %zu\n", g.num_edges());
+  std::printf("vertices = %u\n", g.num_vertices);
+  std::printf("memory_words = %zu\n", opt.memory_words);
+  std::printf("block_words = %zu\n", opt.block_words);
+  std::printf("queries = %zu\n", script.size());
+
+  static const char* kKindNames[] = {"count", "enumerate", "per-vertex",
+                                     "per-edge"};
+  for (std::size_t i = 0; i < script.size(); ++i) {
+    const ScriptQuery& sq = script[i];
+    std::fprintf(stderr, "[query %zu] %s via %s\n", i + 1,
+                 kKindNames[static_cast<int>(sq.q.kind)], sq.q.algo.c_str());
+    Result<query::QueryResult> rr = lg.Run(sq.q);
+    if (!rr.ok()) Die(rr.status().ToString());
+    const query::QueryResult& r = *rr;
+    std::printf("\nquery = %zu\n", i + 1);
+    std::printf("kind = %s\n", kKindNames[static_cast<int>(sq.q.kind)]);
+    std::printf("algorithm = %s\n", sq.q.algo.c_str());
+    PrintPayload(sq.q, r, sq.limit);
+    PrintMeasurements(r, g.num_edges(), opt.memory_words, opt.block_words);
+  }
   return 0;
 }
 
@@ -470,5 +655,8 @@ int main(int argc, char** argv) {
   }
   if (cmd == "count") return CmdRun(ParseOptions(argc, argv), /*enumerate=*/false);
   if (cmd == "enumerate") return CmdRun(ParseOptions(argc, argv), /*enumerate=*/true);
+  if (cmd == "query") {
+    return CmdQuery(ParseOptions(argc, argv, /*query_mode=*/true));
+  }
   Die("unknown command '" + cmd + "' (try `trienum help`)");
 }
