@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
-#include <unordered_set>
 
 #include "common/rng.h"
 #include "core/cache_aware.h"
@@ -14,6 +13,7 @@
 #include "graph/host_graph.h"
 #include "hashing/kwise.h"
 #include "par/thread_pool.h"
+#include "simd/flat_set.h"
 
 namespace trienum::core {
 namespace {
@@ -62,13 +62,18 @@ class QuadRecursor {
       slots[0].ReadTo(0, slots[0].size(), b12.data());
       std::vector<Edge> b34(slots[5].size());
       slots[5].ReadTo(0, slots[5].size(), b34.data());
-      std::unordered_set<std::uint64_t> has;
-      has.reserve(total);
+      // Membership over all six slots: a flat open-addressed set (packed
+      // edges are never 0, the empty sentinel), probed four-at-a-time by
+      // the join below. ContainsAll4's batched variant overlaps the four
+      // (usually cache-missing) slot loads; the result — and therefore the
+      // join's emissions — is identical under every kernel policy.
+      simd::FlatU64Set has;
+      has.Reset(total);
       std::vector<Edge> tmp;
       for (int i = 0; i < 6; ++i) {
         tmp.resize(slots[i].size());
         slots[i].ReadTo(0, slots[i].size(), tmp.data());
-        for (const Edge& e : tmp) has.insert(PackEdge(e.u, e.v));
+        for (const Edge& e : tmp) has.Insert(PackEdge(e.u, e.v));
       }
       // The pair join is pure host work on the staged copies — everything
       // below runs after the slots' charged reads and emits straight to the
@@ -79,10 +84,9 @@ class QuadRecursor {
       ctx_.AddWork(b12.size() * b34.size());
       auto match = [&](const Edge& e12, const Edge& e34) {
         return e12.v < e34.u &&  // enforce v2 < v3
-               has.count(PackEdge(e12.u, e34.u)) != 0 &&
-               has.count(PackEdge(e12.u, e34.v)) != 0 &&
-               has.count(PackEdge(e12.v, e34.u)) != 0 &&
-               has.count(PackEdge(e12.v, e34.v)) != 0;
+               has.ContainsAll4(
+                   PackEdge(e12.u, e34.u), PackEdge(e12.u, e34.v),
+                   PackEdge(e12.v, e34.u), PackEdge(e12.v, e34.v));
       };
       const std::size_t parts = par::PartsFor(
           b12.size() * b34.size(), par::Threads(), kJoinGrainPairs);

@@ -1,9 +1,13 @@
 #include "core/edge_iterator.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
 #include "em/array.h"
 #include "extsort/scan_ops.h"
+#include "simd/intersect.h"
 
 namespace trienum::core {
 
@@ -37,7 +41,14 @@ void EnumerateEdgeIterator(em::QuerySession& ctx, const graph::EmGraph& g,
   em::Array<VertexId> nbr = ctx.Alloc<VertexId>(m);
   extsort::Transform(g.edges, nbr, [](const graph::Edge& e) { return e.v; });
 
-  // For each edge (u, v): intersect N+(u) beyond v with N+(v).
+  // For each edge (u, v): intersect N+(u) beyond v with N+(v). Both runs
+  // are staged host-side with scan-exact reads and handed to the merge
+  // kernel, whose ascending match output is exactly the old interleaved
+  // two-pointer loop's emit order. Work stays the merge's iteration count,
+  // consumed_a + consumed_b - matches: the consumed-at-exhaustion counts
+  // are determined by the data alone, so every kernel variant reproduces
+  // the scalar total exactly (tests/test_intersect_kernels.cc).
+  std::vector<VertexId> run_a, run_b, matches;
   for (VertexId u = 0; u < nv; ++u) {
     std::uint64_t lo = offsets.Get(u), hi = offsets.Get(u + 1);
     for (std::uint64_t idx = lo; idx < hi; ++idx) {
@@ -45,19 +56,19 @@ void EnumerateEdgeIterator(em::QuerySession& ctx, const graph::EmGraph& g,
       std::uint64_t i = idx + 1;               // suffix of N+(u): values > v
       std::uint64_t j = offsets.Get(v);        // random access per edge
       std::uint64_t j_end = offsets.Get(v + 1);
-      while (i < hi && j < j_end) {
-        VertexId wi = nbr.Get(i), wj = nbr.Get(j);
-        ctx.AddWork(1);
-        if (wi < wj) {
-          ++i;
-        } else if (wj < wi) {
-          ++j;
-        } else {
-          sink.Emit(u, v, wi);
-          ++i;
-          ++j;
-        }
-      }
+      const std::size_t la = static_cast<std::size_t>(hi - i);
+      const std::size_t lb = static_cast<std::size_t>(j_end - j);
+      if (la == 0 || lb == 0) continue;
+      if (run_a.size() < la) run_a.resize(la);
+      if (run_b.size() < lb) run_b.resize(lb);
+      nbr.ReadScanInto(i, hi, run_a.data());
+      nbr.ReadScanInto(j, j_end, run_b.data());
+      const std::size_t cap = std::min(la, lb) + simd::kOutSlack;
+      if (matches.size() < cap) matches.resize(cap);
+      const simd::IntersectStats st = simd::IntersectSorted(
+          run_a.data(), la, run_b.data(), lb, matches.data());
+      ctx.AddWork(st.consumed_a + st.consumed_b - st.matches);
+      for (std::size_t k = 0; k < st.matches; ++k) sink.Emit(u, v, matches[k]);
     }
   }
 }

@@ -9,7 +9,9 @@ void EnumerateMgt(em::QuerySession& ctx, const graph::EmGraph& g, TriangleSink& 
   PivotEnumOptions popts;
   popts.chunk_fraction = opts.chunk_fraction;
   // Lemma 2 with the pivot set equal to the whole edge set: every triangle
-  // has its (unique) pivot edge somewhere in E, so all are enumerated.
+  // has its (unique) pivot edge somewhere in E, so all are enumerated. The
+  // adjacency intersections (resident pivot runs vs Gamma_3) run on the
+  // src/simd/ two-regime kernels inside PivotEnumerate.
   PivotEnumerate<graph::Edge>(ctx, g.edges, g.edges, g.edges, sink, popts);
 }
 

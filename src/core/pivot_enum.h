@@ -26,6 +26,15 @@
 //     fan out over stable partitions with per-worker emit buffers flushed
 //     in partition order. Output order, IoStats and work counters are
 //     identical to the serial engine (pinned by tests/test_parallel.cc).
+//
+// Both engines drive the src/simd/ two-regime intersection kernels: the
+// cone-stream role probes go through batched flat-map lookups, and the
+// emit phase intersects each resident pivot run against Gamma_3 either by
+// merge kernel or — when Gamma_3 is large and dense (the high-degree-hub
+// shape) — through a per-group offset bitmap. Kernel variant and regime
+// are pure host-performance choices: output order, work totals, and the
+// Peek/Next charge sequence are identical with kernels on or off
+// (tests/test_simd_invariance.cc).
 #ifndef TRIENUM_CORE_PIVOT_ENUM_H_
 #define TRIENUM_CORE_PIVOT_ENUM_H_
 
@@ -38,6 +47,7 @@
 #include "em/array.h"
 #include "graph/types.h"
 #include "par/thread_pool.h"
+#include "simd/intersect.h"
 
 namespace trienum::core {
 namespace internal {
@@ -133,6 +143,10 @@ struct ResidentChunk {
   std::vector<EdgeT> chunk;
   /// Each distinct smaller-endpoint u's [first, last) run in `chunk`.
   std::vector<std::pair<std::uint32_t, std::uint32_t>> ranges;
+  /// chunk[i]'s larger endpoint, extracted once so each u-run is a
+  /// contiguous strictly-increasing u32 array — the shape the intersection
+  /// kernels take directly (no per-element EdgeAccess in the emit loop).
+  std::vector<std::uint32_t> vmax;
   /// Payload bit 0: max-side membership; bits 1+: 1 + `ranges` index of the
   /// vertex's u-side run. (The packed payload would alias the empty
   /// sentinel only at 2^30 resident ranges; chunks are capped at M/(w+6)
@@ -157,6 +171,7 @@ struct ResidentChunk {
 
     ranges.clear();
     ranges.reserve(csize);
+    vmax.resize(csize);
     roles.Reset(2 * csize);
     for (std::size_t i = 0; i < csize; ++i) {
       graph::VertexId u = Access::U(chunk[i]);
@@ -168,15 +183,20 @@ struct ResidentChunk {
       } else {
         ranges.back().second = static_cast<std::uint32_t>(i + 1);
       }
+      vmax[i] = static_cast<std::uint32_t>(Access::V(chunk[i]));
       roles.Add(Access::V(chunk[i]), 1u);
     }
   }
 };
 
-/// The fused serial loop engine: probe interleaved with the stream read,
-/// direct emission. This is the default (threads=1) hot path; keep it lean:
-/// scanners are constructed here so they stay true locals the compiler can
-/// keep in registers across the opaque sink/work calls.
+/// The serial loop engine: the exact Peek/Next charge sequence of the old
+/// fused loop, with the pure host compute between charges reorganized into
+/// kernel batches — one ProbeFlatMapU32 call per cone group resolves every
+/// neighbour's roles, and the emit phase intersects each resident pivot run
+/// against Gamma_3 through the two-regime kernels. A pivot run's larger
+/// endpoints are strictly increasing (lex-sorted unique edges), so the
+/// kernels' ascending match output IS the old run-scan emit order; work is
+/// charged per batch with totals equal to the old per-item counts.
 template <typename EdgeT>
 void ScanConesSerial(em::QuerySession& ctx, const ResidentChunk<EdgeT>& rc,
                      em::Array<EdgeT> cone_a, em::Array<EdgeT> cone_b,
@@ -190,7 +210,7 @@ void ScanConesSerial(em::QuerySession& ctx, const ResidentChunk<EdgeT>& rc,
   // Hot-state locals (see FlatVertexMap::View): the chunk, run table and
   // role map never change inside this scan, and keeping raw pointers in
   // locals stops the opaque sink/work calls from forcing reloads.
-  const EdgeT* const chunk = rc.chunk.data();
+  const std::uint32_t* const vmax = rc.vmax.data();
   const std::pair<std::uint32_t, std::uint32_t>* const ranges =
       rc.ranges.data();
   const FlatVertexMap::View roles = rc.roles.view();
@@ -198,6 +218,10 @@ void ScanConesSerial(em::QuerySession& ctx, const ResidentChunk<EdgeT>& rc,
   // index (no re-probe in the emit loop), w-side is membership only.
   std::vector<std::pair<VertexId, std::uint32_t>> g2;
   std::vector<VertexId> g3;
+  std::vector<VertexId> nbrs;       // one group's neighbours, arrival order
+  std::vector<std::uint32_t> role;  // their batch-probed role payloads
+  std::vector<std::uint32_t> match;  // one run's kernel match output
+  simd::DenseBitmap bitmap;
 
   while (sa.HasNext() || (!same_cone && sb.HasNext())) {
     VertexId v;
@@ -210,45 +234,72 @@ void ScanConesSerial(em::QuerySession& ctx, const ResidentChunk<EdgeT>& rc,
     }
     g2.clear();
     g3.clear();
+    // Neighbour collection keeps the old loop's Peek/Next sequence; the
+    // (pure) role probes move into one batched kernel call per group —
+    // still one probe per cone edge per chunk, the hottest host loop of
+    // Lemma 2.
+    nbrs.clear();
     while (sa.HasNext() && Access::U(sa.Peek()) == v) {
-      EdgeT e = sa.Next();
-      VertexId nbr = Access::V(e);
-      ctx.AddWork(1);
-      // Single probe resolves both roles of nbr (u-side head, max-side
-      // member) — this runs once per cone edge per chunk, the hottest
-      // host loop of Lemma 2.
-      const std::uint32_t r = roles.Get(nbr);
+      nbrs.push_back(Access::V(sa.Next()));
+    }
+    ctx.AddWork(nbrs.size());
+    if (role.size() < nbrs.size()) role.resize(nbrs.size());
+    simd::ProbeFlatMapU32(roles.keys, roles.vals, roles.mask, nbrs.data(),
+                          nbrs.size(), role.data());
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const std::uint32_t r = role[i];
       if (r != FlatVertexMap::kEmpty) {
-        if ((r >> 1) != 0) g2.emplace_back(nbr, (r >> 1) - 1);
-        if (same_cone && (r & 1u) != 0) g3.push_back(nbr);
+        if ((r >> 1) != 0) g2.emplace_back(nbrs[i], (r >> 1) - 1);
+        if (same_cone && (r & 1u) != 0) g3.push_back(nbrs[i]);
       }
     }
     if (!same_cone) {
+      nbrs.clear();
       while (sb.HasNext() && Access::U(sb.Peek()) == v) {
-        EdgeT e = sb.Next();
-        VertexId nbr = Access::V(e);
-        ctx.AddWork(1);
-        const std::uint32_t r = roles.Get(nbr);
-        if (r != FlatVertexMap::kEmpty && (r & 1u) != 0) g3.push_back(nbr);
+        nbrs.push_back(Access::V(sb.Next()));
+      }
+      ctx.AddWork(nbrs.size());
+      if (role.size() < nbrs.size()) role.resize(nbrs.size());
+      simd::ProbeFlatMapU32(roles.keys, roles.vals, roles.mask, nbrs.data(),
+                            nbrs.size(), role.data());
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        if (role[i] != FlatVertexMap::kEmpty && (role[i] & 1u) != 0) {
+          g3.push_back(nbrs[i]);
+        }
       }
     }
     if (g2.empty() || g3.empty()) continue;
 
     // The lex-sort precondition makes neighbours within a group arrive
-    // v-ascending, so g3 is already sorted for the binary searches below;
+    // v-ascending, so g3 is already sorted for the intersections below;
     // verify in one sweep (and repair) rather than trust the caller.
     if (!std::is_sorted(g3.begin(), g3.end())) {
       std::sort(g3.begin(), g3.end());
     }
+    // Emit phase: intersect each g2 entry's resident pivot run with g3.
+    // Regime choice is per group — dense Gamma_3 builds one offset bitmap
+    // reused across every run; sparse Gamma_3 goes through the merge
+    // kernel. Work is the run length, exactly the old per-element count.
+    const simd::Regime regime =
+        simd::ChooseRegime(g3.size(), g3.front(), g3.back());
+    if (regime == simd::Regime::kBitmap) bitmap.Build(g3.data(), g3.size());
     for (const auto& [u, ri] : g2) {
       const auto& range = ranges[ri];
-      for (std::uint32_t i = range.first; i < range.second; ++i) {
-        VertexId w = Access::V(chunk[i]);
-        ctx.AddWork(1);
-        if (std::binary_search(g3.begin(), g3.end(), w)) {
-          sink.Emit(v, u, w);
-        }
+      const std::uint32_t* run = vmax + range.first;
+      const std::size_t len = range.second - range.first;
+      ctx.AddWork(len);
+      if (match.size() < len + simd::kOutSlack) {
+        match.resize(len + simd::kOutSlack);
       }
+      std::size_t m;
+      if (regime == simd::Regime::kBitmap) {
+        m = bitmap.Probe(run, len, match.data());
+      } else {
+        m = simd::IntersectSorted(run, len, g3.data(), g3.size(),
+                                  match.data())
+                .matches;
+      }
+      for (std::size_t i = 0; i < m; ++i) sink.Emit(v, u, match[i]);
     }
   }
 }
@@ -266,7 +317,7 @@ void ScanConesPooled(em::QuerySession& ctx, const ResidentChunk<EdgeT>& rc,
   em::Scanner<EdgeT> sa(cone_a);
   em::Scanner<EdgeT> sb;
   if (!same_cone) sb = em::Scanner<EdgeT>(cone_b);
-  const EdgeT* const chunk = rc.chunk.data();
+  const std::uint32_t* const vmax = rc.vmax.data();
   const std::pair<std::uint32_t, std::uint32_t>* const ranges =
       rc.ranges.data();
   const FlatVertexMap::View roles = rc.roles.view();
@@ -276,16 +327,31 @@ void ScanConesPooled(em::QuerySession& ctx, const ResidentChunk<EdgeT>& rc,
   std::vector<std::uint32_t> role;  // their probed role payloads
   std::vector<std::uint64_t> g2_probes;  // per-g2-entry pivot-run lengths
   std::vector<std::vector<std::pair<VertexId, VertexId>>> emit_bufs;
+  std::vector<std::vector<std::uint32_t>> match_bufs;  // per-worker scratch
+  std::vector<std::uint32_t> match;  // single-partition fast-path scratch
+  simd::DenseBitmap bitmap;
 
-  // Batched role probe: role[i] = roles.Get(nbrs[i]) over stable partitions.
+  // Batched role probe: role[i] = roles.Get(nbrs[i]) over stable
+  // partitions, each serviced by the flat-map probe kernel.
   auto probe_group = [&](std::size_t count) {
     if (role.size() < count) role.resize(count);
     par::ParallelFor(count, kPivotParGrain,
                      [&](std::size_t lo, std::size_t hi) {
-                       for (std::size_t i = lo; i < hi; ++i) {
-                         role[i] = roles.Get(nbrs[i]);
-                       }
+                       simd::ProbeFlatMapU32(roles.keys, roles.vals,
+                                             roles.mask, nbrs.data() + lo,
+                                             hi - lo, role.data() + lo);
                      });
+  };
+  // One run's two-regime intersection into `out` (kOutSlack slack);
+  // returns the match count. Read-only on shared state once the group's
+  // bitmap is built, so pool workers may call it concurrently.
+  auto intersect_run = [&](const std::pair<std::uint32_t, std::uint32_t>& range,
+                           simd::Regime regime,
+                           std::uint32_t* out) -> std::size_t {
+    const std::uint32_t* run = vmax + range.first;
+    const std::size_t len = range.second - range.first;
+    if (regime == simd::Regime::kBitmap) return bitmap.Probe(run, len, out);
+    return simd::IntersectSorted(run, len, g3.data(), g3.size(), out).matches;
   };
 
   while (sa.HasNext() || (!same_cone && sb.HasNext())) {
@@ -333,49 +399,52 @@ void ScanConesPooled(em::QuerySession& ctx, const ResidentChunk<EdgeT>& rc,
     if (!std::is_sorted(g3.begin(), g3.end())) {
       std::sort(g3.begin(), g3.end());
     }
-    // Emit phase: each g2 entry scans its resident pivot run against g3.
-    // Work is the run length, not a constant, so the partitioning is
-    // weighted; per-worker emit buffers are flushed to the sink in
-    // partition order. A single partition (small group) emits directly —
-    // the order is the same either way.
+    // Emit phase: each g2 entry intersects its resident pivot run with g3
+    // through the two-regime kernels (regime chosen once per group; a
+    // bitmap, once built, is read-only and shared across workers). Work is
+    // the run length, not a constant, so the partitioning is weighted;
+    // per-worker emit buffers are flushed to the sink in partition order.
+    // A single partition (small group) emits directly — the order is the
+    // same either way.
     g2_probes.resize(g2.size());
     std::uint64_t total_probes = 0;
+    std::uint64_t max_run = 0;
     for (std::size_t k = 0; k < g2.size(); ++k) {
       g2_probes[k] =
           ranges[g2[k].second].second - ranges[g2[k].second].first;
       total_probes += g2_probes[k];
+      max_run = std::max(max_run, g2_probes[k]);
     }
     ctx.AddWork(total_probes);
+    const simd::Regime regime =
+        simd::ChooseRegime(g3.size(), g3.front(), g3.back());
+    if (regime == simd::Regime::kBitmap) bitmap.Build(g3.data(), g3.size());
+    const std::size_t match_cap =
+        static_cast<std::size_t>(max_run) + simd::kOutSlack;
     const std::size_t parts =
         par::PartsFor(static_cast<std::size_t>(total_probes), par::Threads(),
                       kPivotParGrain);
     if (parts <= 1) {
+      if (match.size() < match_cap) match.resize(match_cap);
       for (const auto& [u, ri] : g2) {
-        const auto& range = ranges[ri];
-        for (std::uint32_t i = range.first; i < range.second; ++i) {
-          VertexId w = Access::V(chunk[i]);
-          if (std::binary_search(g3.begin(), g3.end(), w)) {
-            sink.Emit(v, u, w);
-          }
-        }
+        const std::size_t m = intersect_run(ranges[ri], regime, match.data());
+        for (std::size_t i = 0; i < m; ++i) sink.Emit(v, u, match[i]);
       }
       continue;
     }
     const std::vector<par::Range> splits = par::SplitWeighted(g2_probes, parts);
     if (emit_bufs.size() < splits.size()) emit_bufs.resize(splits.size());
+    if (match_bufs.size() < splits.size()) match_bufs.resize(splits.size());
     par::ParallelFor(splits.size(), 1, [&](std::size_t k0, std::size_t k1) {
       for (std::size_t k = k0; k < k1; ++k) {
         auto& buf = emit_bufs[k];
+        auto& mbuf = match_bufs[k];
         buf.clear();
+        if (mbuf.size() < match_cap) mbuf.resize(match_cap);
         for (std::size_t gi = splits[k].lo; gi < splits[k].hi; ++gi) {
           const auto& [u, ri] = g2[gi];
-          const auto& range = ranges[ri];
-          for (std::uint32_t i = range.first; i < range.second; ++i) {
-            VertexId w = Access::V(chunk[i]);
-            if (std::binary_search(g3.begin(), g3.end(), w)) {
-              buf.emplace_back(u, w);
-            }
-          }
+          const std::size_t m = intersect_run(ranges[ri], regime, mbuf.data());
+          for (std::size_t i = 0; i < m; ++i) buf.emplace_back(u, mbuf[i]);
         }
       }
     });
@@ -410,8 +479,11 @@ void PivotEnumerate(em::QuerySession& ctx, em::Array<EdgeT> cone_a,
       static_cast<double>(ctx.memory_words()) * opts.chunk_fraction /
       static_cast<double>(words_per));
   // The resident structures cost ~(words_per + 6) words per chunk record
-  // (chunk + adjacency index + endpoint filter + per-v buffers), so cap the
-  // chunk to keep the scratch lease within M even for aggressive alpha.
+  // (chunk + adjacency index + endpoint filter + per-v buffers; the kernel
+  // sidecars — extracted endpoints, group bitmap, match scratch — add
+  // ~1.25 words/record, inside the slack the power-of-two role table
+  // leaves), so cap the chunk to keep the scratch lease within M even for
+  // aggressive alpha.
   chunk_items =
       std::min(chunk_items, ctx.memory_words() / (words_per + 6));
   chunk_items = std::max<std::size_t>(chunk_items, 1);

@@ -1,0 +1,155 @@
+// Host-memory k-way merge of sorted runs, serial or key-space partitioned
+// across the par pool — one loser tree per worker, outputs concatenated in
+// partition order.
+//
+// Why this lives host-side: the engine's charged (M/B)-way merge pass
+// (ext_merge_sort.h) interleaves Scanner refills and Writer flushes in
+// winner order, and that interleaving IS the pinned LRU charge sequence the
+// differential suite asserts (tests/test_sort_engine.cc's
+// ReferenceMergeSort mirrors it call for call). Reordering those charges
+// across workers would change cache hit/miss accounting under capacity
+// pressure, so the charged pass stays winner-order serial. What CAN fan out
+// under the PR-5 charge rule is pure host compute between charges — and run
+// formation's keyless fallback (SortRun) has exactly that shape: sort
+// chunks, merge them, all on one staged host load. MergeSortedRuns is that
+// merge.
+//
+// Determinism contract: MergeSortedRuns(runs) == MergeRunsSerial(runs)
+// record for record, at every thread count. Partition boundaries are value
+// splitters applied to every run with lower_bound under the same
+// comparator, so a class of mutually-equal records can never straddle a
+// boundary; within a partition each worker's loser tree breaks ties by
+// global run index exactly like the serial tree. Concatenating the
+// partitions in order therefore reproduces the serial stable merge
+// bit-for-bit (tests/test_sort_engine.cc, MergeRuns*).
+#ifndef TRIENUM_EXTSORT_MERGE_RUNS_H_
+#define TRIENUM_EXTSORT_MERGE_RUNS_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "extsort/loser_tree.h"
+#include "par/partition.h"
+#include "par/thread_pool.h"
+
+namespace trienum::extsort {
+
+/// One sorted input run (host-resident).
+template <typename T>
+struct RunView {
+  const T* data = nullptr;
+  std::size_t len = 0;
+};
+
+/// Records per partition below which the fork/join handshake outweighs the
+/// merge work (same calibration as run formation's radix grain).
+inline constexpr std::size_t kMergeParGrainRecords = std::size_t{1} << 12;
+
+namespace internal {
+
+/// Serial stable k-way merge of `runs[r]` slices [lo[r], hi[r]) into `out`,
+/// tie-breaking by run index r — the reference semantics every partition
+/// reproduces. `lo`/`hi` may be null for whole runs.
+template <typename T, typename Less>
+void MergeSlices(const std::vector<RunView<T>>& runs, const std::size_t* lo,
+                 const std::size_t* hi, T* out, Less less) {
+  const std::size_t k = runs.size();
+  std::vector<std::size_t> cur(k), end(k);
+  LoserTree<T, Less> tree(k == 0 ? 1 : k, less);
+  for (std::size_t r = 0; r < k; ++r) {
+    cur[r] = lo == nullptr ? 0 : lo[r];
+    end[r] = hi == nullptr ? runs[r].len : hi[r];
+    if (cur[r] < end[r]) tree.SetInitial(r, runs[r].data[cur[r]]);
+  }
+  tree.Init();
+  std::size_t n = 0;
+  while (tree.HasWinner()) {
+    const std::size_t r = tree.WinnerSource();
+    out[n++] = tree.WinnerValue();
+    if (++cur[r] < end[r]) {
+      tree.ReplaceWinner(runs[r].data[cur[r]]);
+    } else {
+      tree.ExhaustWinner();
+    }
+  }
+}
+
+}  // namespace internal
+
+/// Serial stable merge of whole runs (the reference the parallel path must
+/// reproduce bit-for-bit; also the parts <= 1 fast path).
+template <typename T, typename Less>
+void MergeRunsSerial(const std::vector<RunView<T>>& runs, T* out, Less less) {
+  internal::MergeSlices<T, Less>(runs, nullptr, nullptr, out, less);
+}
+
+/// Stable merge of `runs` into `out`, fanned out over the par pool when
+/// par::Threads() > 1 and the total is large enough. Identical output to
+/// MergeRunsSerial at every thread count.
+template <typename T, typename Less>
+void MergeSortedRuns(const std::vector<RunView<T>>& runs, T* out, Less less) {
+  const std::size_t k = runs.size();
+  std::size_t total = 0;
+  std::size_t longest = 0;
+  for (std::size_t r = 0; r < k; ++r) {
+    total += runs[r].len;
+    if (runs[r].len > runs[longest].len) longest = r;
+  }
+  if (total == 0) return;
+  const std::size_t parts =
+      par::PartsFor(total, par::Threads(), kMergeParGrainRecords);
+  if (parts <= 1 || k == 0 || runs[longest].len == 0) {
+    MergeRunsSerial(runs, out, less);
+    return;
+  }
+
+  // Key-space split: splitter p is the value at rank p/parts of the longest
+  // run; every run is cut at lower_bound(splitter), so records equal to a
+  // splitter land wholly in the partition at its right. Skewed inputs (one
+  // value dominating) degrade to lopsided partitions, never to wrong
+  // output.
+  std::vector<std::size_t> bounds((parts + 1) * k);
+  for (std::size_t r = 0; r < k; ++r) {
+    bounds[r] = 0;                     // partition 0 starts at the front
+    bounds[parts * k + r] = runs[r].len;  // last partition ends at the back
+  }
+  for (std::size_t p = 1; p < parts; ++p) {
+    const T& splitter =
+        runs[longest].data[runs[longest].len * p / parts];
+    for (std::size_t r = 0; r < k; ++r) {
+      bounds[p * k + r] = static_cast<std::size_t>(
+          std::lower_bound(runs[r].data, runs[r].data + runs[r].len, splitter,
+                           less) -
+          runs[r].data);
+    }
+  }
+  // Monotonicity guard: lower_bound of non-decreasing splitters is
+  // non-decreasing per run, but a pathological comparator could break that;
+  // clamp so every slice is well-formed.
+  for (std::size_t p = 1; p < parts; ++p) {
+    for (std::size_t r = 0; r < k; ++r) {
+      bounds[p * k + r] =
+          std::max(bounds[p * k + r], bounds[(p - 1) * k + r]);
+    }
+  }
+  std::vector<std::size_t> offset(parts + 1, 0);
+  for (std::size_t p = 0; p < parts; ++p) {
+    std::size_t size = 0;
+    for (std::size_t r = 0; r < k; ++r) {
+      size += bounds[(p + 1) * k + r] - bounds[p * k + r];
+    }
+    offset[p + 1] = offset[p] + size;
+  }
+  par::ParallelFor(parts, 1, [&](std::size_t p0, std::size_t p1) {
+    for (std::size_t p = p0; p < p1; ++p) {
+      internal::MergeSlices<T, Less>(runs, &bounds[p * k],
+                                     &bounds[(p + 1) * k], out + offset[p],
+                                     less);
+    }
+  });
+}
+
+}  // namespace trienum::extsort
+
+#endif  // TRIENUM_EXTSORT_MERGE_RUNS_H_

@@ -30,6 +30,7 @@
 #include <cstring>
 #include <vector>
 
+#include "extsort/merge_runs.h"
 #include "extsort/sort_key.h"
 #include "par/thread_pool.h"
 
@@ -202,7 +203,32 @@ void SortRun(T* rec, std::size_t n, RunScratch<T>& rs, Less less) {
   using Traits = SortKeyTraits<Less, T>;
   if (n < 2) return;
   if constexpr (!Traits::kHasKey) {
-    std::stable_sort(rec, rec + n, less);
+    // Keyless comparator: comparison sort. Under par::SetThreads(N > 1) a
+    // large load splits into stable-sorted chunks merged by the key-space-
+    // partitioned loser-tree merge — chunk i precedes chunk j in the
+    // original order and the merge breaks ties toward the lower chunk, so
+    // the composition equals one std::stable_sort record for record
+    // (tests/test_sort_engine.cc, MergeRuns*).
+    const std::size_t parts =
+        par::PartsFor(n, par::Threads(), internal::kParGrainRecords);
+    if (parts <= 1) {
+      std::stable_sort(rec, rec + n, less);
+    } else {
+      par::ParallelFor(parts, 1, [&](std::size_t q0, std::size_t q1) {
+        for (std::size_t q = q0; q < q1; ++q) {
+          const par::Range r = par::PartRange(n, parts, q);
+          std::stable_sort(rec + r.lo, rec + r.hi, less);
+        }
+      });
+      std::vector<RunView<T>> views(parts);
+      for (std::size_t q = 0; q < parts; ++q) {
+        const par::Range r = par::PartRange(n, parts, q);
+        views[q] = RunView<T>{rec + r.lo, r.hi - r.lo};
+      }
+      if (rs.recs.size() < n) rs.recs.resize(n);
+      MergeSortedRuns(views, rs.recs.data(), less);
+      std::copy(rs.recs.begin(), rs.recs.begin() + static_cast<std::ptrdiff_t>(n), rec);
+    }
   } else {
     if (n < internal::kRadixMinRecords) {
       internal::InsertionSort(rec, n, less);

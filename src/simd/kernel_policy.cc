@@ -1,0 +1,77 @@
+#include "simd/kernel_policy.h"
+
+namespace trienum::simd {
+namespace internal {
+
+std::atomic<int>& ModeStorage() {
+  static std::atomic<int> mode{static_cast<int>(KernelMode::kAuto)};
+  return mode;
+}
+
+std::atomic<std::uint64_t>& VariantCounter(KernelVariant v) {
+  static std::atomic<std::uint64_t> counters[kNumKernelVariants]{};
+  return counters[static_cast<int>(v)];
+}
+
+}  // namespace internal
+
+bool Avx2Available() {
+#if defined(__AVX2__)
+  // Compiled with AVX2 enabled (TRIENUM_NATIVE): still gate on the CPU so a
+  // binary built on an AVX2 box degrades instead of faulting elsewhere.
+  static const bool avail = __builtin_cpu_supports("avx2");
+  return avail;
+#else
+  return false;
+#endif
+}
+
+void ResetInvocationCounters() {
+  for (int v = 0; v < kNumKernelVariants; ++v) {
+    internal::VariantCounter(static_cast<KernelVariant>(v))
+        .store(0, std::memory_order_relaxed);
+  }
+}
+
+const char* KernelModeName(KernelMode m) {
+  switch (m) {
+    case KernelMode::kAuto:
+      return "auto";
+    case KernelMode::kScalar:
+      return "scalar";
+    case KernelMode::kSwar:
+      return "swar";
+    case KernelMode::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+const char* KernelVariantName(KernelVariant v) {
+  switch (v) {
+    case KernelVariant::kScalar:
+      return "scalar";
+    case KernelVariant::kSwar:
+      return "swar";
+    case KernelVariant::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+bool ParseKernelMode(const std::string& s, KernelMode* out) {
+  if (s == "auto") {
+    *out = KernelMode::kAuto;
+  } else if (s == "scalar") {
+    *out = KernelMode::kScalar;
+  } else if (s == "swar") {
+    *out = KernelMode::kSwar;
+  } else if (s == "avx2") {
+    *out = KernelMode::kAvx2;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace trienum::simd

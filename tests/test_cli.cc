@@ -168,6 +168,35 @@ TEST(CliSmoke, InvalidThreadsFails) {
          /*expected_status=*/2);
 }
 
+TEST(CliSmoke, KernelsFlagIsEchoedAndLeavesResultsAndIoUnchanged) {
+  // --kernels is a pure performance knob: forcing the scalar reference path
+  // must reproduce the default (auto) run's triangles, block I/Os, and
+  // internal work exactly, and each run echoes the variant it resolved to.
+  const std::string common =
+      "count --algo=mgt --graph=rmat:scale=8,m=2000,seed=11"
+      " --memory=2048 --block=32 --seed=7";
+  std::string def = RunCli(common);
+  std::string scalar = RunCli(common + " --kernels=scalar");
+  EXPECT_EQ(ReportValue(scalar, "kernels"), "scalar");
+  // auto resolves to whichever vectorized variant this build/CPU supports.
+  const std::string resolved = ReportValue(def, "kernels");
+  EXPECT_TRUE(resolved == "swar" || resolved == "avx2") << resolved;
+  for (const char* key : {"triangles", "block_reads", "block_writes",
+                          "block_ios", "internal_work"}) {
+    EXPECT_EQ(ReportValue(scalar, key), ReportValue(def, key)) << key;
+  }
+  // A forced avx2 request degrades to swar when unavailable — never an error.
+  std::string forced = RunCli(common + " --kernels=avx2");
+  const std::string got = ReportValue(forced, "kernels");
+  EXPECT_TRUE(got == "avx2" || got == "swar") << got;
+  EXPECT_EQ(ReportValue(forced, "triangles"), ReportValue(def, "triangles"));
+}
+
+TEST(CliSmoke, InvalidKernelsFails) {
+  RunCli("count --algo=mgt --graph=clique:k=5 --kernels=sse9",
+         /*expected_status=*/2);
+}
+
 TEST(CliSmoke, SeedIsEchoedInTheReport) {
   std::string out = RunCli(
       "count --algo=ps-cache-aware --graph=clique:k=6 --memory=1024"

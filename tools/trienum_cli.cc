@@ -35,6 +35,7 @@
 #include "graph/normalize.h"
 #include "par/par_config.h"
 #include "query/query.h"
+#include "simd/kernel_policy.h"
 
 namespace {
 
@@ -72,6 +73,11 @@ constexpr char kUsage[] =
     "  --threads=<N>             host compute threads (default 1; 0 = all\n"
     "                            hardware cores). Parallelism never changes\n"
     "                            the result or the counted block I/Os\n"
+    "  --kernels=<mode>          intersection kernel policy: auto (default),\n"
+    "                            scalar, swar, or avx2. Pure performance\n"
+    "                            knob: every mode yields identical results,\n"
+    "                            work counters, and block I/Os. avx2 without\n"
+    "                            hardware/build support falls back to swar\n"
     "\n"
     "graph generators (`<name>:k1=v1,k2=v2,...`):\n"
     "  gnm:n=1024,m=4096,seed=1          Erdos-Renyi G(n, m)\n"
@@ -107,6 +113,7 @@ struct Options {
   em::StorageKind backend = em::StorageKind::kMemory;
   std::string temp_dir;
   std::size_t threads = 1;
+  simd::KernelMode kernels = simd::KernelMode::kAuto;
   std::string script;  // `trienum query` only
 };
 
@@ -171,6 +178,11 @@ Options ParseOptions(int argc, char** argv, bool query_mode = false) {
       opt.temp_dir = value;
     } else if (key == "threads") {
       opt.threads = ParseU64(key, value);
+    } else if (key == "kernels") {
+      if (!simd::ParseKernelMode(value, &opt.kernels)) {
+        Die("--kernels must be auto, scalar, swar, or avx2, got '" + value +
+            "'");
+      }
     } else if (query_mode && key == "script") {
       opt.script = value;
     } else {
@@ -375,6 +387,8 @@ void PrintMeasurements(const query::QueryResult& r, std::size_t num_edges,
       core::PaghSilvestriIoBound(num_edges, memory_words, block_words);
   double lower = core::IoLowerBound(r.triangles, memory_words, block_words);
   std::printf("threads = %zu\n", r.threads_used);
+  std::printf("kernels = %s\n",
+              simd::KernelVariantName(simd::ActiveVariant()));
   std::printf("seed = %llu\n", static_cast<unsigned long long>(r.seed_used));
   std::printf("triangles = %llu\n",
               static_cast<unsigned long long>(r.triangles));
@@ -452,6 +466,7 @@ void PrintPayload(const query::Query& q, const query::QueryResult& r,
 }
 
 int CmdRun(const Options& opt, bool enumerate) {
+  simd::SetMode(opt.kernels);
   const bool is_reference = opt.algo == "reference";
   if (!is_reference && core::FindAlgorithm(opt.algo) == nullptr) {
     Die("unknown algorithm '" + opt.algo + "' (see `trienum list`)");
@@ -595,6 +610,7 @@ std::vector<ScriptQuery> LoadScript(const std::string& path, const Options& opt)
 }
 
 int CmdQuery(const Options& opt) {
+  simd::SetMode(opt.kernels);
   if (opt.script.empty()) {
     Die("`trienum query` needs --script=<file> (one query per line)");
   }
