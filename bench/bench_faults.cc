@@ -1,0 +1,99 @@
+// Overhead of the fault-tolerance stack: the same query measured over a
+// plain store, a checksummed store (per-line FNV-1a maintained on write,
+// verified on fetch), and a store under a live transient fault schedule
+// (every recovered by retry). The triangle count is checked in-loop against
+// the clean run — the bit-identity contract stays hot in the bench — and
+// BENCH_faults.json commits the overhead trajectory. Recovery traffic is
+// reported as counters (retries per query) next to the counted I/Os it
+// deliberately never touches.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "faults/recovery.h"
+#include "query/query.h"
+
+namespace trienum::bench {
+namespace {
+
+constexpr std::size_t kMemWords = 4096;
+constexpr std::size_t kBlockWords = 64;
+constexpr std::uint64_t kSeed = 0xB0B;
+
+std::vector<graph::Edge> BenchEdges() {
+  return graph::Rmat(10, 8192, 0.45, 0.22, 0.22, 7);
+}
+
+enum class Mode { kClean, kChecksums, kTransientFaults };
+
+em::EmConfig ModeConfig(Mode mode) {
+  em::EmConfig cfg;
+  cfg.memory_words = kMemWords;
+  cfg.block_words = kBlockWords;
+  cfg.seed = kSeed;
+  switch (mode) {
+    case Mode::kClean:
+      break;
+    case Mode::kChecksums:
+      cfg.verify_checksums = true;
+      break;
+    case Mode::kTransientFaults:
+      cfg.fault_spec = "read:eio:every=101;write:short:every=103";
+      break;
+  }
+  TRIENUM_CHECK(faults::ApplyFaultConfig(cfg).ok());
+  return cfg;
+}
+
+void RunFaultMode(benchmark::State& state, Mode mode, const char* label) {
+  const std::vector<graph::Edge> raw = BenchEdges();
+  query::Query q;
+  q.algo = "ps-cache-aware";
+
+  // The clean answer, established once: every measured run must match it.
+  query::LoadedGraph clean =
+      *query::LoadedGraph::FromEdges(ModeConfig(Mode::kClean), raw);
+  const std::uint64_t expected = (*clean.Run(q)).triangles;
+
+  query::LoadedGraph lg = *query::LoadedGraph::FromEdges(ModeConfig(mode), raw);
+  double wall_ms = 0;
+  em::IoStats io;
+  em::RecoveryStats recovery;
+  for (auto _ : state) {
+    auto t0 = std::chrono::steady_clock::now();
+    query::QueryResult r = *lg.Run(q);
+    auto t1 = std::chrono::steady_clock::now();
+    TRIENUM_CHECK(r.triangles == expected);
+    wall_ms += std::chrono::duration<double, std::milli>(t1 - t0).count();
+    io = r.io;
+    recovery = r.recovery;
+  }
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["wall_ms"] = wall_ms / iters;
+  state.counters["block_ios"] = static_cast<double>(io.total_ios());
+  state.counters["retries_per_query"] = static_cast<double>(recovery.retries);
+  state.counters["checksum_failures"] =
+      static_cast<double>(recovery.checksum_failures);
+  state.SetLabel(label);
+}
+
+void BM_FaultStackClean(benchmark::State& state) {
+  RunFaultMode(state, Mode::kClean, "clean");
+}
+BENCHMARK(BM_FaultStackClean)->Unit(benchmark::kMillisecond);
+
+void BM_FaultStackChecksums(benchmark::State& state) {
+  RunFaultMode(state, Mode::kChecksums, "checksums");
+}
+BENCHMARK(BM_FaultStackChecksums)->Unit(benchmark::kMillisecond);
+
+void BM_FaultStackTransientFaults(benchmark::State& state) {
+  RunFaultMode(state, Mode::kTransientFaults, "transient_faults");
+}
+BENCHMARK(BM_FaultStackTransientFaults)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace trienum::bench

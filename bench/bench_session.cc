@@ -45,7 +45,7 @@ void BM_SessionLoadOncePlusKQueries(benchmark::State& state) {
   em::IoStats per_query_io;
   for (auto _ : state) {
     auto t0 = std::chrono::steady_clock::now();
-    query::LoadedGraph lg = query::LoadedGraph::FromEdges(BenchConfig(), raw);
+    query::LoadedGraph lg = *query::LoadedGraph::FromEdges(BenchConfig(), raw);
     for (std::size_t i = 0; i < k; ++i) {
       query::QueryResult r = *lg.Run(q);
       triangles = r.triangles;

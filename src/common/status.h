@@ -6,6 +6,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <variant>
@@ -90,7 +91,7 @@ class Result {
   const Status& status() const { return std::get<Status>(v_); }
 
   /// Returns the contained value; aborts if this holds an error.
-  T& ValueOrDie() {
+  T& ValueOrDie() & {
     if (!ok()) {
       std::fprintf(stderr, "Result::ValueOrDie on error: %s\n",
                    status().ToString().c_str());
@@ -98,13 +99,42 @@ class Result {
     }
     return std::get<T>(v_);
   }
-  const T& ValueOrDie() const { return const_cast<Result*>(this)->ValueOrDie(); }
+  const T& ValueOrDie() const& { return const_cast<Result*>(this)->ValueOrDie(); }
+  /// Rvalue overload: moves the value out of a temporary Result, so
+  /// `T v = *SomeResultReturningCall();` takes the move path.
+  T&& ValueOrDie() && { return std::move(ValueOrDie()); }
 
-  T& operator*() { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T& operator*() const& { return ValueOrDie(); }
+  T&& operator*() && { return std::move(*this).ValueOrDie(); }
   T* operator->() { return &ValueOrDie(); }
+
+  /// Returns the contained value, or `fallback` if this holds an error.
+  T value_or(T fallback) const& { return ok() ? std::get<T>(v_) : std::move(fallback); }
+  T value_or(T fallback) && {
+    return ok() ? std::move(std::get<T>(v_)) : std::move(fallback);
+  }
 
  private:
   std::variant<T, Status> v_;
+};
+
+/// \brief Exception carrier for a non-OK Status.
+///
+/// Most of the library is Status-returning, but the hot data plane (cache
+/// lines, scanners, writers) cannot thread a Status through every word
+/// access without poisoning the inner loops. An unrecoverable I/O failure
+/// discovered mid-plan throws IoFault instead; the query layer is the only
+/// catcher and converts it back into a Status on the QueryResult.
+class IoFault : public std::runtime_error {
+ public:
+  explicit IoFault(Status status)
+      : std::runtime_error(status.ToString()), status_(std::move(status)) {}
+
+  const Status& status() const { return status_; }
+
+ private:
+  Status status_;
 };
 
 }  // namespace trienum
@@ -134,5 +164,21 @@ class Result {
     ::trienum::Status _st = (expr);             \
     if (!_st.ok()) return _st;                  \
   } while (0)
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the Status to the
+/// caller, otherwise move-assigns the value into `lhs`:
+///
+///   TRIENUM_ASSIGN_OR_RETURN(auto edges, ReadEdgeListText(path));
+#define TRIENUM_ASSIGN_OR_RETURN(lhs, rexpr) \
+  TRIENUM_ASSIGN_OR_RETURN_IMPL_(            \
+      TRIENUM_STATUS_CONCAT_(_trienum_result_, __LINE__), lhs, rexpr)
+
+#define TRIENUM_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                   \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = *std::move(tmp)
+
+#define TRIENUM_STATUS_CONCAT_(a, b) TRIENUM_STATUS_CONCAT_IMPL_(a, b)
+#define TRIENUM_STATUS_CONCAT_IMPL_(a, b) a##b
 
 #endif  // TRIENUM_COMMON_STATUS_H_

@@ -352,7 +352,15 @@ class Writer {
   Writer() = default;
   explicit Writer(Array<T> a, ScanMode mode = DefaultScanMode())
       : a_(a), mode_(mode) {}
-  ~Writer() { Flush(); }
+  ~Writer() {
+    // Flush can hit a staged-I/O fault; the destructor must not throw. The
+    // cache latches the fault (Cache::fault()), which the query layer checks
+    // after every run, so swallowing here loses nothing.
+    try {
+      Flush();
+    } catch (const IoFault&) {
+    }
+  }
   Writer(Writer&& o) noexcept
       : a_(o.a_), pos_(o.pos_), flush_lo_(o.flush_lo_), flush_at_(o.flush_at_),
         buf_(std::move(o.buf_)), mode_(o.mode_) {
@@ -361,7 +369,10 @@ class Writer {
   }
   Writer& operator=(Writer&& o) noexcept {
     if (this != &o) {
-      Flush();
+      try {
+        Flush();  // same fault-latch contract as the destructor
+      } catch (const IoFault&) {
+      }
       a_ = o.a_;
       pos_ = o.pos_;
       flush_lo_ = o.flush_lo_;

@@ -2,8 +2,31 @@
 
 #include <algorithm>
 #include <cstring>
+#include <exception>
 
 namespace trienum::em {
+
+void Cache::StagedRead(Addr addr, std::size_t words, Word* out) {
+  if (fault_.ok()) {
+    Status st = staging_->ReadWords(addr, words, out);
+    if (st.ok()) return;
+    fault_ = st;
+  }
+  // Latched: zero-fill so callers see deterministic data, then either
+  // propagate or — mid-unwind, where throwing would terminate — rely on the
+  // latch (checked by RunQuery after the plan exits).
+  std::memset(out, 0, words * sizeof(Word));
+  if (std::uncaught_exceptions() == 0) throw IoFault(fault_);
+}
+
+void Cache::StagedWrite(Addr addr, std::size_t words, const Word* in) {
+  if (fault_.ok()) {
+    Status st = staging_->WriteWords(addr, words, in);
+    if (st.ok()) return;
+    fault_ = st;
+  }
+  if (std::uncaught_exceptions() == 0) throw IoFault(fault_);
+}
 
 Cache::Cache(std::size_t memory_words, std::size_t block_words,
              StorageBackend* staging, std::size_t line_map_dense_limit)
@@ -69,16 +92,21 @@ std::int32_t Cache::GrabSlot() {
   while (s >= 0 && slots_[s].pins > 0) s = slots_[s].prev;
   TRIENUM_CHECK_MSG(s >= 0, "every cache line is pinned; cannot evict");
   Unlink(s);
-  if (slots_[s].dirty) {
-    if (staging_ != nullptr) {
-      staging_->WriteWords(static_cast<Addr>(slots_[s].line) * block_words_,
-                           block_words_, line_buf(s));
-    }
-    ++stats_.block_writes;
-  }
-  where_.Set(slots_[s].line, -1);
+  // Unmap before the write-back: StagedWrite can throw IoFault, and the
+  // unwind may run more cache ops (Writer flushes) — the map and list must
+  // already be consistent. A throw here leaks slot s until Discard().
+  const std::int64_t evicted = slots_[s].line;
+  const bool was_dirty = slots_[s].dirty;
+  where_.Set(evicted, -1);
   slots_[s].line = -1;
   slots_[s].dirty = false;
+  if (was_dirty) {
+    ++stats_.block_writes;
+    if (staging_ != nullptr) {
+      StagedWrite(static_cast<Addr>(evicted) * block_words_, block_words_,
+                  line_buf(s));
+    }
+  }
   return s;
 }
 
@@ -99,14 +127,6 @@ std::int32_t Cache::TouchLine(std::int64_t line, bool write, bool aligned_write,
     s = GrabSlot();
     where_.Set(line, s);
     slots_[s].line = line;
-    if (staging_ != nullptr && fetch) {
-      // Real block fetch. Deliberately independent of the charging decision
-      // below: a block-aligned fresh write is not charged a read by the
-      // model, but a partially-covered line must still be loaded so its
-      // untouched words survive the eventual write-back.
-      staging_->ReadWords(static_cast<Addr>(line) * block_words_, block_words_,
-                          line_buf(s));
-    }
     if (write && aligned_write) {
       // Fresh full-line output: allocate without charging a fetch.
       slots_[s].dirty = true;
@@ -115,6 +135,15 @@ std::int32_t Cache::TouchLine(std::int64_t line, bool write, bool aligned_write,
       slots_[s].dirty = write;
     }
     PushFront(s);
+    if (staging_ != nullptr && fetch) {
+      // Real block fetch, after the slot is fully linked so an IoFault here
+      // leaves the LRU state consistent. Deliberately independent of the
+      // charging decision above: a block-aligned fresh write is not charged
+      // a read by the model, but a partially-covered line must still be
+      // loaded so its untouched words survive the eventual write-back.
+      StagedRead(static_cast<Addr>(line) * block_words_, block_words_,
+                 line_buf(s));
+    }
   }
   last_line_ = line;
   return s;
@@ -246,16 +275,16 @@ void Cache::ReadRange(Addr addr, std::size_t words, void* out) {
       Addr lo = std::max<Addr>(addr, line_base);
       Addr hi = std::min<Addr>(end, line_base + block_words_);
       if (lo > run_start) {
-        staging_->ReadWords(run_start, static_cast<std::size_t>(lo - run_start),
-                            reinterpret_cast<Word*>(dst + (run_start - addr) * sizeof(Word)));
+        StagedRead(run_start, static_cast<std::size_t>(lo - run_start),
+                   reinterpret_cast<Word*>(dst + (run_start - addr) * sizeof(Word)));
       }
       std::memcpy(dst + (lo - addr) * sizeof(Word), line_buf(s) + (lo - line_base),
                   static_cast<std::size_t>(hi - lo) * sizeof(Word));
       run_start = hi;
     }
     if (end > run_start) {
-      staging_->ReadWords(run_start, static_cast<std::size_t>(end - run_start),
-                          reinterpret_cast<Word*>(dst + (run_start - addr) * sizeof(Word)));
+      StagedRead(run_start, static_cast<std::size_t>(end - run_start),
+                 reinterpret_cast<Word*>(dst + (run_start - addr) * sizeof(Word)));
     }
     return;
   }
@@ -284,7 +313,7 @@ void Cache::WriteRange(Addr addr, std::size_t words, const void* in) {
     // for bulk uploads), plus buffer updates for any resident lines so they
     // stay authoritative. Dirty flags and recency stay untouched, so the
     // counted-region IoStats remain identical to the simulator's.
-    staging_->WriteWords(addr, words, reinterpret_cast<const Word*>(src));
+    StagedWrite(addr, words, reinterpret_cast<const Word*>(src));
     for (std::int64_t line = first; line <= last; ++line) {
       std::int32_t s = Lookup(line);
       if (s < 0) continue;
@@ -321,8 +350,8 @@ void Cache::FlushAll() {
       if (staging_ != nullptr) {
         // Data is never dropped, even when the flush itself is uncounted
         // (e.g. Reset between phases).
-        staging_->WriteWords(static_cast<Addr>(slots_[s].line) * block_words_,
-                             block_words_, line_buf(s));
+        StagedWrite(static_cast<Addr>(slots_[s].line) * block_words_,
+                    block_words_, line_buf(s));
       }
       if (counting_) ++stats_.block_writes;
     }
@@ -344,6 +373,28 @@ void Cache::Reset() {
   FlushAll();
   counting_ = saved;
   stats_ = IoStats{};
+}
+
+void Cache::Discard() {
+  // Rebuild the slot array wholesale rather than walking the lists: a fault
+  // can abandon the cache in a partial state (a grabbed-but-unlinked slot, a
+  // half-flushed LRU chain), and this reconstruction is correct from any of
+  // them.
+  for (std::size_t i = 0; i < num_slots_; ++i) {
+    slots_[i].line = -1;
+    slots_[i].dirty = false;
+    slots_[i].pins = 0;
+    slots_[i].next = static_cast<std::int32_t>(i) + 1;
+    slots_[i].prev = -1;
+  }
+  slots_[num_slots_ - 1].next = -1;
+  free_head_ = 0;
+  head_ = tail_ = -1;
+  last_line_ = -1;
+  pinned_lines_ = 0;
+  where_.Clear();
+  stats_ = IoStats{};
+  fault_ = Status::OK();
 }
 
 bool Cache::IsResident(Addr addr) const {

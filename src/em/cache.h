@@ -22,6 +22,7 @@
 #ifndef TRIENUM_EM_CACHE_H_
 #define TRIENUM_EM_CACHE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -67,6 +68,12 @@ class LineMap {
     } else {
       sparse_[l] = slot;
     }
+  }
+
+  /// Drops every mapping (Cache::Discard). Keeps the dense vector's capacity.
+  void Clear() {
+    std::fill(dense_.begin(), dense_.end(), -1);
+    sparse_.clear();
   }
 
   std::size_t dense_limit() const { return dense_limit_; }
@@ -171,6 +178,19 @@ class Cache {
   /// (Staged dirty data is written back, never dropped.)
   void Reset();
 
+  /// Crash-consistency reset: drops every line *without* write-back, clears
+  /// pins, counters, and the latched fault. After a failed query the dirty
+  /// lines hold scratch data from an abandoned plan — writing them back could
+  /// itself fault, and nothing will ever read them (the query's region is
+  /// released). The frozen graph pages are clean by construction, so
+  /// discarding cannot lose graph data.
+  void Discard();
+
+  /// First staged-I/O failure observed by this cache, latched until
+  /// Discard(). The query layer checks this after a run: a fault swallowed
+  /// during unwinding (Writer destructors) still fails the query.
+  const Status& fault() const { return fault_; }
+
   /// Zeroes the IoStats counters only, leaving residency, recency, dirty
   /// bits and pins untouched — per-session counting reset without
   /// disturbing resident lines. A query that must match a fresh context
@@ -221,6 +241,14 @@ class Cache {
   /// Shared walk behind ScanRange/ReadScan/WriteScan.
   void ScanOp(Addr addr, std::size_t words, std::size_t elem_words,
               ScanOpKind kind, void* out, const void* in);
+  /// Staged backend I/O with fault latching. On a backend error the Status
+  /// is latched into fault_ and an IoFault is thrown — unless the stack is
+  /// already unwinding (a Writer flushing from a destructor), in which case
+  /// the op degrades to a no-op (reads zero-fill) and the latch alone
+  /// carries the failure to the query layer. Once latched, every further
+  /// staged op behaves the same way: fail fast, never touch the backend.
+  void StagedRead(Addr addr, std::size_t words, Word* out);
+  void StagedWrite(Addr addr, std::size_t words, const Word* in);
   std::int32_t GrabSlot();           // free (or unpinned LRU) slot
   void MoveToFront(std::int32_t s);
   void PushFront(std::int32_t s);
@@ -258,6 +286,7 @@ class Cache {
 
   bool counting_ = true;
   IoStats stats_;
+  Status fault_;  // first staged-I/O failure; cleared by Discard()
 };
 
 }  // namespace trienum::em

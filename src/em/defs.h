@@ -10,6 +10,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 
 namespace trienum::em {
@@ -37,6 +39,8 @@ enum class StorageKind {
   kFile,
 };
 
+class StorageBackend;  // em/storage.h
+
 /// Parameters of the simulated memory hierarchy.
 struct EmConfig {
   /// Internal memory size M, in words.
@@ -56,6 +60,29 @@ struct EmConfig {
   /// a multi-TB file-backed device no longer needs device/(2B) bytes of host
   /// memory for the map. Lowered in tests to exercise the sparse regime.
   std::size_t line_map_dense_limit = std::size_t{1} << 22;
+
+  // --- Fault injection & recovery (src/faults/) -----------------------------
+  // The em layer carries the configuration but never depends on the faults
+  // layer: faults::ApplyFaultConfig parses fault_spec and installs
+  // wrap_backend, which MakeStorageBackend applies to whatever backend it
+  // builds. An empty spec with verify_checksums=false leaves the backend
+  // unwrapped (zero overhead on the default path).
+
+  /// Deterministic fault schedule (see faults/fault_spec.h for the grammar);
+  /// empty = no injection.
+  std::string fault_spec;
+  /// Bounded retry budget for transient I/O faults (per operation).
+  int io_retries = 4;
+  /// Base backoff in milliseconds between retries (doubles per attempt);
+  /// 0 = retry immediately (the test/bench default).
+  int io_retry_backoff_ms = 0;
+  /// Maintain per-line checksums on write and verify them on full-line
+  /// fetches, detecting torn or corrupted blocks.
+  bool verify_checksums = false;
+  /// Decorator hook applied by MakeStorageBackend around the backend it
+  /// constructs. Installed by faults::ApplyFaultConfig; null = identity.
+  std::function<std::unique_ptr<StorageBackend>(std::unique_ptr<StorageBackend>)>
+      wrap_backend;
 };
 
 /// Counters of simulated block transfers.

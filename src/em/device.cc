@@ -6,7 +6,11 @@ Addr Device::Allocate(std::size_t words, std::size_t align) {
   TRIENUM_CHECK(align > 0);
   Addr base = (top_ + align - 1) / align * align;
   Addr new_top = base + words;
-  backend_->EnsureSize(new_top);
+  // A grow failure (ENOSPC, bad backing file) cannot be returned through the
+  // allocation-heavy data plane; throw and let the query layer convert it
+  // back to a Status. top_ is untouched, so the device stays consistent.
+  Status st = backend_->EnsureSize(new_top);
+  if (!st.ok()) throw IoFault(std::move(st));
   top_ = new_top;
   if (top_ > peak_) peak_ = top_;
   return base;

@@ -27,13 +27,14 @@ std::size_t GrownCapacity(std::size_t current, std::size_t want) {
 // ---------------------------------------------------------------------------
 // MemoryBackend
 
-void MemoryBackend::EnsureSize(std::size_t words) {
-  if (words <= storage_.size()) return;
+Status MemoryBackend::EnsureSize(std::size_t words) {
+  if (words <= storage_.size()) return Status::OK();
   storage_.resize(GrownCapacity(storage_.size(), words), 0);
   ++grow_calls_;
+  return Status::OK();
 }
 
-void MemoryBackend::ReadWords(Addr addr, std::size_t words, Word* out) {
+Status MemoryBackend::ReadWords(Addr addr, std::size_t words, Word* out) {
   // Reads past the current size yield zeros, matching a zero-initialized
   // store (the staged cache may fetch a whole line whose tail was never
   // allocated).
@@ -47,13 +48,15 @@ void MemoryBackend::ReadWords(Addr addr, std::size_t words, Word* out) {
   if (avail < words) std::memset(out + avail, 0, (words - avail) * sizeof(Word));
   ++telemetry_.read_calls;
   telemetry_.bytes_read += words * sizeof(Word);
+  return Status::OK();
 }
 
-void MemoryBackend::WriteWords(Addr addr, std::size_t words, const Word* in) {
-  EnsureSize(static_cast<std::size_t>(addr) + words);
+Status MemoryBackend::WriteWords(Addr addr, std::size_t words, const Word* in) {
+  TRIENUM_RETURN_NOT_OK(EnsureSize(static_cast<std::size_t>(addr) + words));
   std::memcpy(storage_.data() + addr, in, words * sizeof(Word));
   ++telemetry_.write_calls;
   telemetry_.bytes_written += words * sizeof(Word);
+  return Status::OK();
 }
 
 // ---------------------------------------------------------------------------
@@ -75,7 +78,14 @@ FileBackend::FileBackend(std::string dir) {
   std::vector<char> tmpl(tmpl_str.begin(), tmpl_str.end());
   tmpl.push_back('\0');
   fd_ = ::mkstemp(tmpl.data());
-  TRIENUM_CHECK_MSG(fd_ >= 0, "FileBackend: mkstemp failed (check --temp-dir)");
+  if (fd_ < 0) {
+    // Constructors cannot return a Status; latch it and fail every later
+    // operation. Callers check init_status() before first use.
+    init_status_ = Status::IoError("FileBackend: mkstemp in '" + dir +
+                                   "' failed: " + std::strerror(errno) +
+                                   " (check --temp-dir)");
+    return;
+  }
   path_.assign(tmpl.data());
   // Unlink immediately: the fd keeps the storage alive, and the OS reclaims
   // it even if the process crashes.
@@ -86,24 +96,31 @@ FileBackend::~FileBackend() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-void FileBackend::EnsureSize(std::size_t words) {
-  if (words <= size_words_) return;
+Status FileBackend::EnsureSize(std::size_t words) {
+  TRIENUM_RETURN_NOT_OK(init_status_);
+  if (words <= size_words_) return Status::OK();
   std::size_t grown = GrownCapacity(size_words_, words);
-  TRIENUM_CHECK_MSG(
-      ::ftruncate(fd_, static_cast<off_t>(grown * sizeof(Word))) == 0,
-      "FileBackend: ftruncate failed (disk full?)");
+  if (::ftruncate(fd_, static_cast<off_t>(grown * sizeof(Word))) != 0) {
+    return Status::IoError(std::string("FileBackend: ftruncate failed: ") +
+                           std::strerror(errno));
+  }
   size_words_ = grown;
   ++grow_calls_;
+  return Status::OK();
 }
 
-void FileBackend::ReadWords(Addr addr, std::size_t words, Word* out) {
+Status FileBackend::ReadWords(Addr addr, std::size_t words, Word* out) {
+  TRIENUM_RETURN_NOT_OK(init_status_);
   std::size_t nbytes = words * sizeof(Word);
   off_t off = static_cast<off_t>(addr * sizeof(Word));
   char* dst = reinterpret_cast<char*>(out);
   while (nbytes > 0) {
     ssize_t got = ::pread(fd_, dst, nbytes, off);
     if (got < 0 && errno == EINTR) continue;
-    TRIENUM_CHECK_MSG(got >= 0, "FileBackend: pread failed");
+    if (got < 0) {
+      return Status::IoError(std::string("FileBackend: pread failed: ") +
+                             std::strerror(errno));
+    }
     ++telemetry_.read_calls;
     if (got == 0) {
       // Past EOF: never-written words read as zero (ftruncate holes do the
@@ -116,44 +133,68 @@ void FileBackend::ReadWords(Addr addr, std::size_t words, Word* out) {
     off += got;
     nbytes -= static_cast<std::size_t>(got);
   }
+  return Status::OK();
 }
 
-void FileBackend::WriteWords(Addr addr, std::size_t words, const Word* in) {
+Status FileBackend::WriteWords(Addr addr, std::size_t words, const Word* in) {
+  TRIENUM_RETURN_NOT_OK(init_status_);
   std::size_t nbytes = words * sizeof(Word);
   off_t off = static_cast<off_t>(addr * sizeof(Word));
   const char* src = reinterpret_cast<const char*>(in);
+  // pwrite may legally write a short count (or 0 on some filesystems when
+  // interrupted); loop on progress and only treat *persistent* zero-progress
+  // or a hard errno as failure.
+  int zero_progress = 0;
   while (nbytes > 0) {
     ssize_t put = ::pwrite(fd_, src, nbytes, off);
     if (put < 0 && errno == EINTR) continue;
-    TRIENUM_CHECK_MSG(put > 0, "FileBackend: pwrite failed (disk full?)");
+    if (put < 0) {
+      return Status::IoError(std::string("FileBackend: pwrite failed: ") +
+                             std::strerror(errno));
+    }
+    if (put == 0) {
+      if (++zero_progress >= 8) {
+        return Status::IoError(
+            "FileBackend: pwrite made no progress after 8 attempts");
+      }
+      continue;
+    }
+    zero_progress = 0;
     ++telemetry_.write_calls;
     telemetry_.bytes_written += static_cast<std::uint64_t>(put);
     src += put;
     off += put;
     nbytes -= static_cast<std::size_t>(put);
   }
+  return Status::OK();
 }
 
 #else  // _WIN32
 
 FileBackend::FileBackend(std::string) {
-  TRIENUM_CHECK_MSG(false, "FileBackend requires a POSIX platform");
+  init_status_ = Status::IoError("FileBackend requires a POSIX platform");
 }
 FileBackend::~FileBackend() = default;
-void FileBackend::EnsureSize(std::size_t) {}
-void FileBackend::ReadWords(Addr, std::size_t, Word*) {}
-void FileBackend::WriteWords(Addr, std::size_t, const Word*) {}
+Status FileBackend::EnsureSize(std::size_t) { return init_status_; }
+Status FileBackend::ReadWords(Addr, std::size_t, Word*) { return init_status_; }
+Status FileBackend::WriteWords(Addr, std::size_t, const Word*) {
+  return init_status_;
+}
 
 #endif  // _WIN32
 
 std::unique_ptr<StorageBackend> MakeStorageBackend(const EmConfig& cfg) {
+  std::unique_ptr<StorageBackend> backend;
   switch (cfg.storage) {
     case StorageKind::kFile:
-      return std::make_unique<FileBackend>(cfg.temp_dir);
+      backend = std::make_unique<FileBackend>(cfg.temp_dir);
+      break;
     case StorageKind::kMemory:
+      backend = std::make_unique<MemoryBackend>();
       break;
   }
-  return std::make_unique<MemoryBackend>();
+  if (cfg.wrap_backend) backend = cfg.wrap_backend(std::move(backend));
+  return backend;
 }
 
 }  // namespace trienum::em

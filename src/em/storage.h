@@ -47,6 +47,22 @@ struct StorageTelemetry {
   }
 };
 
+/// Counters of the recovery machinery (src/faults/). All of this is
+/// *uncounted* traffic with respect to the paper's I/O accounting: a retry or
+/// a checksum verification never changes IoStats, which stay bit-identical to
+/// a clean run under any transient fault schedule.
+struct RecoveryStats {
+  std::uint64_t retries = 0;             ///< I/O attempts repeated after a fault
+  std::uint64_t faults_injected = 0;     ///< faults fired by the injector
+  std::uint64_t checksum_failures = 0;   ///< torn/corrupt lines detected on fetch
+
+  RecoveryStats operator-(const RecoveryStats& o) const {
+    return RecoveryStats{retries - o.retries,
+                         faults_injected - o.faults_injected,
+                         checksum_failures - o.checksum_failures};
+  }
+};
+
 /// \brief Abstract word store backing a Device.
 ///
 /// Addresses are word-granular and the store is logically unbounded;
@@ -57,8 +73,9 @@ class StorageBackend {
  public:
   virtual ~StorageBackend() = default;
 
-  /// Grows the store so that addresses [0, words) are valid.
-  virtual void EnsureSize(std::size_t words) = 0;
+  /// Grows the store so that addresses [0, words) are valid. Returns
+  /// kIoError when the underlying storage cannot grow (e.g. ENOSPC).
+  virtual Status EnsureSize(std::size_t words) = 0;
 
   /// Current capacity in words.
   virtual std::size_t size_words() const = 0;
@@ -75,20 +92,35 @@ class StorageBackend {
   virtual const Word* DirectView() const { return nullptr; }
 
   /// Block-granular transfer path used by the cache's staged data mode (and
-  /// by uncounted write-through/read-through accesses).
-  virtual void ReadWords(Addr addr, std::size_t words, Word* out) = 0;
-  virtual void WriteWords(Addr addr, std::size_t words, const Word* in) = 0;
+  /// by uncounted write-through/read-through accesses). A non-OK Status means
+  /// the operation did not complete; callers may retry (the call is
+  /// idempotent: a failed attempt may have transferred a prefix, but a
+  /// successful re-issue transfers the whole range).
+  virtual Status ReadWords(Addr addr, std::size_t words, Word* out) = 0;
+  virtual Status WriteWords(Addr addr, std::size_t words, const Word* in) = 0;
+
+  /// Whether construction succeeded. Backends cannot report failure from a
+  /// constructor; a backend that failed to initialize (e.g. mkstemp on a bad
+  /// temp dir) latches the error here and fails every subsequent operation
+  /// with it. Checked once at LoadedGraph/Context creation.
+  virtual Status init_status() const { return Status::OK(); }
 
   /// Real-transfer counters (monotone over the backend's lifetime).
-  const StorageTelemetry& telemetry() const { return telemetry_; }
+  /// Virtual so decorators (src/faults/) can forward to the wrapped backend.
+  virtual const StorageTelemetry& telemetry() const { return telemetry_; }
+
+  /// Recovery counters (retries, injected faults, checksum failures);
+  /// aggregated across the decorator stack. Zero for plain backends.
+  virtual RecoveryStats recovery() const { return RecoveryStats{}; }
 
   /// Times the backing storage actually grew (vector resize / ftruncate).
   /// A GraphStore reused across queries must warm up once and then stay
   /// flat: queries allocate inside released regions, so no re-create and no
   /// re-truncate per query (asserted by tests/test_device_properties.cc).
-  std::uint64_t grow_calls() const { return grow_calls_; }
+  virtual std::uint64_t grow_calls() const { return grow_calls_; }
 
-  /// Backend identifier ("memory" or "file"), for reports.
+  /// Backend identifier ("memory", "file", or a decorated composition such
+  /// as "file+faults+recovery"), for reports.
   virtual const char* name() const = 0;
 
  protected:
@@ -99,13 +131,13 @@ class StorageBackend {
 /// \brief RAM-resident store: the original simulator's flat vector.
 class MemoryBackend final : public StorageBackend {
  public:
-  void EnsureSize(std::size_t words) override;
+  Status EnsureSize(std::size_t words) override;
   std::size_t size_words() const override { return storage_.size(); }
   bool memory_resident() const override { return true; }
   Word* DirectView() override { return storage_.data(); }
   const Word* DirectView() const override { return storage_.data(); }
-  void ReadWords(Addr addr, std::size_t words, Word* out) override;
-  void WriteWords(Addr addr, std::size_t words, const Word* in) override;
+  Status ReadWords(Addr addr, std::size_t words, Word* out) override;
+  Status WriteWords(Addr addr, std::size_t words, const Word* in) override;
   const char* name() const override { return "memory"; }
 
  private:
@@ -126,11 +158,12 @@ class FileBackend final : public StorageBackend {
   FileBackend(const FileBackend&) = delete;
   FileBackend& operator=(const FileBackend&) = delete;
 
-  void EnsureSize(std::size_t words) override;
+  Status EnsureSize(std::size_t words) override;
   std::size_t size_words() const override { return size_words_; }
   bool memory_resident() const override { return false; }
-  void ReadWords(Addr addr, std::size_t words, Word* out) override;
-  void WriteWords(Addr addr, std::size_t words, const Word* in) override;
+  Status ReadWords(Addr addr, std::size_t words, Word* out) override;
+  Status WriteWords(Addr addr, std::size_t words, const Word* in) override;
+  Status init_status() const override { return init_status_; }
   const char* name() const override { return "file"; }
 
   /// Path the backing file was created at (already unlinked; informational).
@@ -140,6 +173,7 @@ class FileBackend final : public StorageBackend {
   int fd_ = -1;
   std::size_t size_words_ = 0;
   std::string path_;
+  Status init_status_;
 };
 
 /// Factory from the context configuration.

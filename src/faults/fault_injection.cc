@@ -1,0 +1,148 @@
+#include "faults/fault_injection.h"
+
+#include <cstring>
+
+namespace trienum::faults {
+
+namespace {
+
+// splitmix64: the library's standard seeded mixer (see hashing/), reused so
+// probabilistic clauses are reproducible across platforms.
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+FaultInjectingBackend::FaultInjectingBackend(
+    std::unique_ptr<em::StorageBackend> inner, std::vector<FaultClause> clauses,
+    std::uint64_t seed, std::size_t block_words)
+    : inner_(std::move(inner)),
+      clauses_(std::move(clauses)),
+      fired_(clauses_.size(), 0),
+      latched_(clauses_.size(), false),
+      seed_(seed),
+      block_words_(block_words) {
+  name_ = std::string(inner_->name()) + "+faults";
+}
+
+const FaultClause* FaultInjectingBackend::NextFault(FaultOp op,
+                                                    std::uint64_t* counter) {
+  const std::uint64_t n = ++ops_[static_cast<int>(op)];
+  if (counter != nullptr) *counter = n;
+  for (std::size_t i = 0; i < clauses_.size(); ++i) {
+    const FaultClause& c = clauses_[i];
+    if (c.op != op) continue;
+    bool fire = latched_[i];
+    if (!fire && c.every != 0 && n % c.every == 0) fire = true;
+    if (!fire && c.at != 0 && n == c.at) fire = true;
+    if (!fire && c.p > 0.0) {
+      const std::uint64_t h = Mix64(seed_ ^ Mix64(i + 1) ^ Mix64(n));
+      fire = static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0) < c.p;
+    }
+    if (!fire) continue;
+    if (c.count != 0 && fired_[i] >= c.count && !latched_[i]) continue;
+    ++fired_[i];
+    if (c.perm) latched_[i] = true;
+    ++faults_injected_;
+    return &c;
+  }
+  return nullptr;
+}
+
+Status FaultInjectingBackend::EnsureSize(std::size_t words) {
+  // Only a call that would actually extend the store counts as a grow
+  // operation; re-validations of an already-large store stay invisible.
+  if (armed_ && words > inner_->size_words()) {
+    if (const FaultClause* c = NextFault(FaultOp::kGrow, nullptr)) {
+      switch (c->kind) {
+        case FaultKind::kEnospc:
+          return Status::IoError("injected ENOSPC on grow");
+        case FaultKind::kEintr:
+          return Status::IoError("injected EINTR storm on grow");
+        case FaultKind::kEio:
+        default:
+          return Status::IoError("injected EIO on grow");
+      }
+    }
+  }
+  return inner_->EnsureSize(words);
+}
+
+Status FaultInjectingBackend::ReadWords(em::Addr addr, std::size_t words,
+                                        em::Word* out) {
+  if (!armed_) return inner_->ReadWords(addr, words, out);
+  std::uint64_t n = 0;
+  const FaultClause* c = NextFault(FaultOp::kRead, &n);
+  if (c == nullptr) return inner_->ReadWords(addr, words, out);
+  switch (c->kind) {
+    case FaultKind::kEio:
+      return Status::IoError("injected EIO on read");
+    case FaultKind::kEintr:
+      return Status::IoError("injected EINTR storm on read");
+    case FaultKind::kShort: {
+      // Transfer a prefix, then fail: the caller must not trust partial
+      // output. A clean retry re-issues the whole range (idempotent).
+      const std::size_t half = words / 2;
+      if (half > 0) {
+        Status st = inner_->ReadWords(addr, half, out);
+        if (!st.ok()) return st;
+      }
+      return Status::IoError("injected short read");
+    }
+    case FaultKind::kFlip: {
+      // Silent corruption: a successful-looking read with one bit wrong.
+      // Only on whole-line block-aligned reads (a torn block) — exactly the
+      // shape the recovery layer can checksum-verify; other shapes pass
+      // through clean so corruption is never injected where it is
+      // undetectable by design.
+      Status st = inner_->ReadWords(addr, words, out);
+      if (!st.ok()) return st;
+      if (block_words_ > 0 && words > 0 && addr % block_words_ == 0 &&
+          words % block_words_ == 0) {
+        const std::uint64_t h = Mix64(seed_ ^ Mix64(n));
+        out[h % words] ^= em::Word{1} << ((h >> 32) % 64);
+      }
+      return Status::OK();
+    }
+    case FaultKind::kEnospc:
+      break;  // unreachable: parser rejects enospc on read
+  }
+  return inner_->ReadWords(addr, words, out);
+}
+
+Status FaultInjectingBackend::WriteWords(em::Addr addr, std::size_t words,
+                                         const em::Word* in) {
+  if (!armed_) return inner_->WriteWords(addr, words, in);
+  const FaultClause* c = NextFault(FaultOp::kWrite, nullptr);
+  if (c == nullptr) return inner_->WriteWords(addr, words, in);
+  switch (c->kind) {
+    case FaultKind::kEio:
+      return Status::IoError("injected EIO on write");
+    case FaultKind::kEintr:
+      return Status::IoError("injected EINTR storm on write");
+    case FaultKind::kShort: {
+      const std::size_t half = words / 2;
+      if (half > 0) {
+        Status st = inner_->WriteWords(addr, half, in);
+        if (!st.ok()) return st;
+      }
+      return Status::IoError("injected short write");
+    }
+    case FaultKind::kFlip:
+    case FaultKind::kEnospc:
+      break;  // unreachable: parser rejects these on write
+  }
+  return inner_->WriteWords(addr, words, in);
+}
+
+em::RecoveryStats FaultInjectingBackend::recovery() const {
+  em::RecoveryStats r = inner_->recovery();
+  r.faults_injected += faults_injected_;
+  return r;
+}
+
+}  // namespace trienum::faults

@@ -1,0 +1,163 @@
+#include "faults/fault_spec.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace trienum::faults {
+
+namespace {
+
+std::vector<std::string> Split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    std::size_t pos = s.find(sep, start);
+    if (pos == std::string::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+Status ParseU64(const std::string& text, std::uint64_t* out) {
+  if (text.empty()) return Status::InvalidArgument("empty number");
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end == text.c_str() || *end != '\0') {
+    return Status::InvalidArgument("bad number '" + text + "'");
+  }
+  *out = static_cast<std::uint64_t>(v);
+  return Status::OK();
+}
+
+bool Compatible(FaultOp op, FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kEio:
+    case FaultKind::kEintr:
+      return true;
+    case FaultKind::kShort:
+      return op == FaultOp::kRead || op == FaultOp::kWrite;
+    case FaultKind::kFlip:
+      return op == FaultOp::kRead;
+    case FaultKind::kEnospc:
+      return op == FaultOp::kGrow;
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* FaultOpName(FaultOp op) {
+  switch (op) {
+    case FaultOp::kRead: return "read";
+    case FaultOp::kWrite: return "write";
+    case FaultOp::kGrow: return "grow";
+  }
+  return "?";
+}
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kEio: return "eio";
+    case FaultKind::kEintr: return "eintr";
+    case FaultKind::kShort: return "short";
+    case FaultKind::kFlip: return "flip";
+    case FaultKind::kEnospc: return "enospc";
+  }
+  return "?";
+}
+
+Result<std::vector<FaultClause>> ParseFaultSpec(const std::string& spec) {
+  std::vector<FaultClause> clauses;
+  if (spec.empty()) return clauses;
+  for (const std::string& text : Split(spec, ';')) {
+    if (text.empty()) {
+      return Status::InvalidArgument("fault spec: empty clause");
+    }
+    std::vector<std::string> parts = Split(text, ':');
+    if (parts.size() < 2 || parts.size() > 3) {
+      return Status::InvalidArgument("fault spec: clause '" + text +
+                                     "' is not op:kind[:params]");
+    }
+    FaultClause c;
+    if (parts[0] == "read") {
+      c.op = FaultOp::kRead;
+    } else if (parts[0] == "write") {
+      c.op = FaultOp::kWrite;
+    } else if (parts[0] == "grow") {
+      c.op = FaultOp::kGrow;
+    } else {
+      return Status::InvalidArgument("fault spec: unknown op '" + parts[0] +
+                                     "' (read|write|grow)");
+    }
+    if (parts[1] == "eio") {
+      c.kind = FaultKind::kEio;
+    } else if (parts[1] == "eintr") {
+      c.kind = FaultKind::kEintr;
+    } else if (parts[1] == "short") {
+      c.kind = FaultKind::kShort;
+    } else if (parts[1] == "flip") {
+      c.kind = FaultKind::kFlip;
+    } else if (parts[1] == "enospc") {
+      c.kind = FaultKind::kEnospc;
+    } else {
+      return Status::InvalidArgument("fault spec: unknown kind '" + parts[1] +
+                                     "' (eio|eintr|short|flip|enospc)");
+    }
+    if (!Compatible(c.op, c.kind)) {
+      return Status::InvalidArgument(
+          std::string("fault spec: kind '") + FaultKindName(c.kind) +
+          "' does not apply to op '" + FaultOpName(c.op) + "'");
+    }
+    if (parts.size() == 3) {
+      for (const std::string& kv : Split(parts[2], ',')) {
+        std::size_t eq = kv.find('=');
+        if (eq == std::string::npos) {
+          return Status::InvalidArgument("fault spec: param '" + kv +
+                                         "' is not key=value");
+        }
+        std::string key = kv.substr(0, eq);
+        std::string val = kv.substr(eq + 1);
+        if (key == "every") {
+          TRIENUM_RETURN_NOT_OK(ParseU64(val, &c.every));
+          if (c.every == 0) {
+            return Status::InvalidArgument("fault spec: every=0 is invalid");
+          }
+        } else if (key == "at") {
+          TRIENUM_RETURN_NOT_OK(ParseU64(val, &c.at));
+          if (c.at == 0) {
+            return Status::InvalidArgument("fault spec: at=0 is invalid "
+                                           "(operation counters are 1-based)");
+          }
+        } else if (key == "count") {
+          TRIENUM_RETURN_NOT_OK(ParseU64(val, &c.count));
+        } else if (key == "perm") {
+          std::uint64_t v = 0;
+          TRIENUM_RETURN_NOT_OK(ParseU64(val, &v));
+          c.perm = v != 0;
+        } else if (key == "p") {
+          char* end = nullptr;
+          c.p = std::strtod(val.c_str(), &end);
+          if (end == val.c_str() || *end != '\0' || c.p < 0.0 || c.p > 1.0) {
+            return Status::InvalidArgument("fault spec: p must be in [0,1]");
+          }
+        } else {
+          return Status::InvalidArgument(
+              "fault spec: unknown param '" + key +
+              "' (every|at|count|perm|p)");
+        }
+      }
+    }
+    if (c.every == 0 && c.at == 0 && c.p == 0.0) {
+      return Status::InvalidArgument("fault spec: clause '" + text +
+                                     "' needs a trigger (every=, at= or p=)");
+    }
+    clauses.push_back(c);
+  }
+  return clauses;
+}
+
+}  // namespace trienum::faults

@@ -1,6 +1,7 @@
 #include "graph/graph_io.h"
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -60,6 +61,29 @@ Status WriteEdgeListBinary(const std::string& path, const std::vector<Edge>& edg
             static_cast<std::streamsize>(count * sizeof(Edge)));
   if (!out) return Status::IoError("write failed on " + path);
   return Status::OK();
+}
+
+namespace {
+
+bool IsBinaryPath(const std::string& path) {
+  auto ends_with = [&](const char* suffix) {
+    const std::size_t n = std::strlen(suffix);
+    return path.size() >= n && path.compare(path.size() - n, n, suffix) == 0;
+  };
+  return ends_with(".bin") || ends_with(".bedges");
+}
+
+}  // namespace
+
+Result<std::vector<Edge>> ReadEdgeListAuto(const std::string& path) {
+  if (IsBinaryPath(path)) return ReadEdgeListBinary(path);
+  return ReadEdgeListText(path);
+}
+
+Status ConvertEdgeList(const std::string& src, const std::string& dst) {
+  TRIENUM_ASSIGN_OR_RETURN(std::vector<Edge> edges, ReadEdgeListAuto(src));
+  if (IsBinaryPath(dst)) return WriteEdgeListBinary(dst, edges);
+  return WriteEdgeListText(dst, edges);
 }
 
 }  // namespace trienum::graph

@@ -101,9 +101,30 @@ Result<QueryResult> RunQuery(em::QuerySession& session,
   TRIENUM_CHECK(sink != nullptr);
 
   em::StorageTelemetry tel_before = session.device().backend().telemetry();
+  em::RecoveryStats rec_before = session.device().backend().recovery();
   auto t0 = std::chrono::steady_clock::now();
-  info->run(session, g, *sink);
-  session.cache().FlushAll();
+  Status run_status;
+  try {
+    info->run(session, g, *sink);
+    session.cache().FlushAll();
+  } catch (const IoFault& fault) {
+    run_status = fault.status();
+  }
+  // A fault swallowed mid-unwind (a Writer flushing from its destructor)
+  // never surfaced as an exception; the cache latch still records it.
+  if (run_status.ok() && !session.cache().fault().ok()) {
+    run_status = session.cache().fault();
+  }
+  if (!run_status.ok()) {
+    // Crash-consistent failure: the query dies, the session survives. Leases
+    // and pins were released by unwinding (RAII); Discard drops the
+    // abandoned scratch lines without write-back and clears the latch, and
+    // the region destructor pops the device back to the frozen mark — so
+    // the next query runs the cold-start contract from a clean slate,
+    // bit-identical to a fresh context.
+    session.cache().Discard();
+    return run_status;
+  }
   auto t1 = std::chrono::steady_clock::now();
 
   QueryResult r;
@@ -111,6 +132,7 @@ Result<QueryResult> RunQuery(em::QuerySession& session,
   r.work = session.work();
   r.device_peak_words = session.device().peak_words();
   r.telemetry = session.device().backend().telemetry() - tel_before;
+  r.recovery = session.device().backend().recovery() - rec_before;
   r.wall_ms = std::chrono::duration_cast<
                   std::chrono::duration<double, std::milli>>(t1 - t0)
                   .count();
@@ -138,17 +160,25 @@ Result<QueryResult> RunQuery(em::QuerySession& session,
   return r;
 }
 
-LoadedGraph LoadedGraph::FromEdges(const em::EmConfig& cfg,
-                                   const std::vector<graph::Edge>& raw) {
+Result<LoadedGraph> LoadedGraph::FromEdges(const em::EmConfig& cfg,
+                                           const std::vector<graph::Edge>& raw) {
   LoadedGraph lg;
   lg.store_ = std::make_unique<em::GraphStore>(cfg);
+  TRIENUM_RETURN_NOT_OK(lg.store_->device().backend().init_status());
   lg.session_ = std::make_unique<em::QuerySession>(*lg.store_);
   // Ingest + normalize uncounted, exactly like the single-run drivers: the
   // input is assumed to already live on disk, so building the canonical
-  // layout is not part of any query's measured I/O.
+  // layout is not part of any query's measured I/O. A permanent I/O fault
+  // here is unrecoverable — there is no frozen graph to fall back to — so
+  // the whole load fails.
   lg.store_->cache().set_counting(false);
-  lg.graph_ = graph::BuildEmGraph(*lg.session_, raw);
+  try {
+    lg.graph_ = graph::BuildEmGraph(*lg.session_, raw);
+  } catch (const IoFault& fault) {
+    return fault.status();
+  }
   lg.store_->cache().set_counting(true);
+  if (!lg.store_->cache().fault().ok()) return lg.store_->cache().fault();
   lg.frozen_mark_ = lg.store_->device().Mark();
   return lg;
 }

@@ -89,6 +89,11 @@ struct QueryResult {
   std::size_t device_peak_words = 0;
   /// Real backend traffic of this query (zero on the memory backend).
   em::StorageTelemetry telemetry;
+  /// Recovery traffic of this query (retries, injected faults, checksum
+  /// failures) — uncounted with respect to `io`, which stays bit-identical
+  /// to a clean run under any transient fault schedule. All zero unless the
+  /// store was built with a fault/checksum configuration.
+  em::RecoveryStats recovery;
   double wall_ms = 0;
   std::uint64_t seed_used = 0;
   std::size_t threads_used = 0;
@@ -111,9 +116,10 @@ Result<QueryResult> RunQuery(em::QuerySession& session,
 class LoadedGraph {
  public:
   /// Ingests + normalizes `raw` (uncounted, exactly like the single-run
-  /// drivers) and freezes the result.
-  static LoadedGraph FromEdges(const em::EmConfig& cfg,
-                               const std::vector<graph::Edge>& raw);
+  /// drivers) and freezes the result. Fails with kIoError when the backend
+  /// cannot initialize (bad temp dir) or ingest hits a permanent I/O fault.
+  static Result<LoadedGraph> FromEdges(const em::EmConfig& cfg,
+                                       const std::vector<graph::Edge>& raw);
 
   LoadedGraph(LoadedGraph&&) = default;
   LoadedGraph& operator=(LoadedGraph&&) = default;

@@ -216,6 +216,65 @@ TEST(CliSmoke, UnknownOptionFailsWithUsageHint) {
          /*expected_status=*/2);
 }
 
+TEST(CliFaults, TransientScheduleLeavesTheReportBitIdentical) {
+  // The recovery contract end to end through the CLI: a seeded transient
+  // fault schedule changes only the recovery_* lines — triangles and every
+  // counted I/O number match the clean run exactly.
+  const std::string common =
+      "count --algo=ps-cache-aware --graph=rmat:scale=8,m=2000,seed=11"
+      " --memory=2048 --block=32 --seed=7";
+  std::string clean = RunCli(common);
+  std::string faulted = RunCli(
+      common + " \"--faults=read:eio:every=7;write:short:every=9\"");
+  for (const char* key : {"triangles", "block_reads", "block_writes",
+                          "block_ios", "internal_work"}) {
+    EXPECT_EQ(ReportValue(faulted, key), ReportValue(clean, key)) << key;
+  }
+  EXPECT_EQ(ReportValue(clean, "recovery_retries"), "0");
+  EXPECT_GT(std::stoull(ReportValue(faulted, "recovery_retries")), 0u);
+  EXPECT_EQ(ReportValue(faulted, "recovery_retries"),
+            ReportValue(faulted, "recovery_faults_injected"));
+}
+
+TEST(CliFaults, ChecksumsDetectFlipsOnTheFileBackend) {
+  const std::string common =
+      "count --algo=ps-cache-aware --graph=rmat:scale=8,m=2000,seed=11"
+      " --memory=2048 --block=32 --seed=7 --backend=file";
+  std::string clean = RunCli(common);
+  std::string sums = RunCli(common +
+                            " --verify-checksums --faults=read:flip:every=5");
+  EXPECT_EQ(ReportValue(sums, "triangles"), ReportValue(clean, "triangles"));
+  EXPECT_EQ(ReportValue(sums, "block_ios"), ReportValue(clean, "block_ios"));
+  EXPECT_GT(std::stoull(ReportValue(sums, "recovery_checksum_failures")), 0u);
+}
+
+TEST(CliFaults, PermanentFaultDiesCleanly) {
+  RunCli(
+      "count --algo=mgt --graph=clique:k=16 --memory=1024 --block=16"
+      " --faults=read:eio:at=10,perm=1",
+      /*expected_status=*/2);
+}
+
+TEST(CliFaults, BadFaultSpecOrRetryFlagsFail) {
+  RunCli("count --graph=clique:k=5 --faults=bogus:eio:every=3",
+         /*expected_status=*/2);
+  RunCli("count --graph=clique:k=5 --faults=read:eio",  // no trigger
+         /*expected_status=*/2);
+  RunCli("count --graph=clique:k=5 --io-retries=none", /*expected_status=*/2);
+  RunCli("count --graph=clique:k=5 --verify-checksums=maybe",
+         /*expected_status=*/2);
+}
+
+TEST(CliFaults, MkstempFailureDiesCleanlyInsteadOfAborting) {
+  // /proc/sys passes the is_directory pre-check but mkstemp cannot create a
+  // file there (even as root), so this exercises the FileBackend's latched
+  // init_status path: a clean diagnostic and exit 2, not an abort.
+  RunCli(
+      "count --algo=ps-cache-aware --graph=clique:k=5 --backend=file"
+      " --temp-dir=/proc/sys",
+      /*expected_status=*/2);
+}
+
 // Writes `content` to a unique temp file and returns its path; the file is
 // removed when the returned guard dies.
 struct TempScript {

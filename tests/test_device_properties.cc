@@ -142,7 +142,7 @@ TEST(DeviceProperty, StoreReuseKeepsBackendWarmAndRegionDisciplineIntact) {
     cfg.block_words = kBlock;
     cfg.storage = storage;
     query::LoadedGraph lg =
-        query::LoadedGraph::FromEdges(cfg, graph::Gnm(128, 500, 0x11));
+        *query::LoadedGraph::FromEdges(cfg, graph::Gnm(128, 500, 0x11));
 
     query::Query q;
     q.algo = "mgt";

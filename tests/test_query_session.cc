@@ -71,7 +71,8 @@ void ExpectBitIdentical(const query::QueryResult& reused,
 void RunCell(const std::string& algo, em::StorageKind storage,
              em::ScanMode scan_mode, std::size_t threads) {
   const std::vector<graph::Edge> raw = FixtureEdges();
-  query::LoadedGraph lg = query::LoadedGraph::FromEdges(TestConfig(storage), raw);
+  query::LoadedGraph lg =
+      *query::LoadedGraph::FromEdges(TestConfig(storage), raw);
 
   std::vector<query::Query> queries(3);
   queries[0].kind = query::QueryKind::kEnumerate;
@@ -148,7 +149,7 @@ INSTANTIATE_TEST_SUITE_P(AllAlgorithmsBackendsModes, QuerySessionMatrix,
 TEST(QueryKinds, PerVertexCountsAgreeWithEnumeratedTriangles) {
   const std::vector<graph::Edge> raw = FixtureEdges();
   query::LoadedGraph lg =
-      query::LoadedGraph::FromEdges(TestConfig(em::StorageKind::kMemory), raw);
+      *query::LoadedGraph::FromEdges(TestConfig(em::StorageKind::kMemory), raw);
 
   query::Query enumerate;
   enumerate.kind = query::QueryKind::kEnumerate;
@@ -180,7 +181,7 @@ TEST(QueryKinds, PerVertexCountsAgreeWithEnumeratedTriangles) {
 TEST(QueryKinds, PerEdgeSupportAgreesWithEnumeratedTriangles) {
   const std::vector<graph::Edge> raw = FixtureEdges();
   query::LoadedGraph lg =
-      query::LoadedGraph::FromEdges(TestConfig(em::StorageKind::kMemory), raw);
+      *query::LoadedGraph::FromEdges(TestConfig(em::StorageKind::kMemory), raw);
 
   query::QueryResult tris = *lg.Run([] {
     query::Query q;
@@ -223,7 +224,7 @@ TEST(QueryKinds, PerEdgeSupportAgreesWithEnumeratedTriangles) {
 TEST(QueryKinds, EnumerateLimitCapsListButNotCountOrIo) {
   const std::vector<graph::Edge> raw = FixtureEdges();
   query::LoadedGraph lg =
-      query::LoadedGraph::FromEdges(TestConfig(em::StorageKind::kMemory), raw);
+      *query::LoadedGraph::FromEdges(TestConfig(em::StorageKind::kMemory), raw);
 
   query::Query full;
   full.kind = query::QueryKind::kEnumerate;
@@ -241,7 +242,7 @@ TEST(QueryKinds, EnumerateLimitCapsListButNotCountOrIo) {
 }
 
 TEST(QueryErrors, UnknownAlgorithmIsNotFoundNotAbort) {
-  query::LoadedGraph lg = query::LoadedGraph::FromEdges(
+  query::LoadedGraph lg = *query::LoadedGraph::FromEdges(
       TestConfig(em::StorageKind::kMemory), graph::Clique(4));
   query::Query q;
   q.algo = "definitely-not-an-algorithm";

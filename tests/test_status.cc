@@ -1,0 +1,120 @@
+// Unit tests for the Status/Result error-handling primitives: value_or,
+// the rvalue (move) access path, TRIENUM_ASSIGN_OR_RETURN, and the IoFault
+// exception carrier used by the hot data plane.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace trienum {
+namespace {
+
+Result<std::string> MakeString(bool ok) {
+  if (!ok) return Status::NotFound("no string today");
+  return std::string("payload");
+}
+
+Result<std::unique_ptr<int>> MakePtr(bool ok) {
+  if (!ok) return Status::IoError("no ptr");
+  return std::make_unique<int>(42);
+}
+
+TEST(StatusResult, ValueOrReturnsValueOnOkAndFallbackOnError) {
+  EXPECT_EQ(MakeString(true).value_or("fallback"), "payload");
+  EXPECT_EQ(MakeString(false).value_or("fallback"), "fallback");
+
+  Result<std::string> ok = MakeString(true);
+  Result<std::string> err = MakeString(false);
+  EXPECT_EQ(ok.value_or("fallback"), "payload");
+  EXPECT_EQ(err.value_or("fallback"), "fallback");
+  // The const& overload copies: the stored value must survive.
+  EXPECT_EQ(*ok, "payload");
+}
+
+TEST(StatusResult, ValueOrOnRvalueMovesNoncopyableValue) {
+  std::unique_ptr<int> p = MakePtr(true).value_or(nullptr);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(*p, 42);
+  EXPECT_EQ(MakePtr(false).value_or(nullptr), nullptr);
+}
+
+TEST(StatusResult, RvalueDereferenceTakesTheMovePath) {
+  // `*std::move(r)` (and `*Call()`) must move the value out, not copy it —
+  // the idiom every FromEdges call site relies on for move-only payloads.
+  std::unique_ptr<int> p = *MakePtr(true);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(*p, 42);
+
+  Result<std::unique_ptr<int>> r = MakePtr(true);
+  std::unique_ptr<int> q = *std::move(r);
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(*q, 42);
+  EXPECT_EQ(r.ValueOrDie(), nullptr) << "moved-from Result must be empty";
+
+  Result<std::vector<int>> big(std::vector<int>(1000, 7));
+  std::vector<int> v = *std::move(big);
+  EXPECT_EQ(v.size(), 1000u);
+  EXPECT_TRUE(big.ValueOrDie().empty()) << "vector must have been moved out";
+}
+
+Status UseAssignOrReturn(bool ok, std::string* out) {
+  TRIENUM_ASSIGN_OR_RETURN(std::string s, MakeString(ok));
+  *out = s + "!";
+  return Status::OK();
+}
+
+Status UseAssignOrReturnTwiceAndMoveOnly(std::unique_ptr<int>* out) {
+  // Two expansions in one function: the __LINE__-based temp name must not
+  // collide, and a move-only value must transfer.
+  TRIENUM_ASSIGN_OR_RETURN(std::unique_ptr<int> a, MakePtr(true));
+  TRIENUM_ASSIGN_OR_RETURN(std::unique_ptr<int> b, MakePtr(true));
+  *a += *b;
+  *out = std::move(a);
+  return Status::OK();
+}
+
+TEST(StatusResult, AssignOrReturnAssignsOnOkAndPropagatesOnError) {
+  std::string out;
+  EXPECT_TRUE(UseAssignOrReturn(true, &out).ok());
+  EXPECT_EQ(out, "payload!");
+
+  out.clear();
+  Status st = UseAssignOrReturn(false, &out);
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+  EXPECT_EQ(st.message(), "no string today");
+  EXPECT_TRUE(out.empty()) << "error path must not touch the output";
+}
+
+TEST(StatusResult, AssignOrReturnHandlesMoveOnlyAndRepeatedUse) {
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(UseAssignOrReturnTwiceAndMoveOnly(&out).ok());
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 84);
+}
+
+TEST(StatusResult, IoFaultCarriesTheStatusAndFormatsWhat) {
+  Status st = Status::IoError("disk on fire");
+  try {
+    throw IoFault(st);
+  } catch (const IoFault& f) {
+    EXPECT_EQ(f.status().code(), StatusCode::kIoError);
+    EXPECT_EQ(f.status().message(), "disk on fire");
+    EXPECT_EQ(std::string(f.what()), st.ToString());
+    return;
+  }
+  FAIL() << "IoFault was not caught";
+}
+
+TEST(StatusResult, StatusToStringAndCodeNames) {
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+  EXPECT_EQ(Status::IoError("x").ToString(), "IoError: x");
+  EXPECT_EQ(Status::CodeName(StatusCode::kCapacityExceeded),
+            "CapacityExceeded");
+}
+
+}  // namespace
+}  // namespace trienum

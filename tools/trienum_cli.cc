@@ -30,6 +30,7 @@
 #include "core/reference.h"
 #include "core/sink.h"
 #include "em/context.h"
+#include "faults/recovery.h"
 #include "graph/generators.h"
 #include "graph/graph_io.h"
 #include "graph/normalize.h"
@@ -78,6 +79,19 @@ constexpr char kUsage[] =
     "                            knob: every mode yields identical results,\n"
     "                            work counters, and block I/Os. avx2 without\n"
     "                            hardware/build support falls back to swar\n"
+    "  --faults=<spec>           deterministic fault-injection schedule, e.g.\n"
+    "                            'read:eio:every=7;write:short:every=9'\n"
+    "                            (clauses op:kind[:k=v,...]; op in read|write|\n"
+    "                            grow, kind in eio|eintr|short|flip|enospc;\n"
+    "                            see README 'Fault injection & recovery').\n"
+    "                            Transient faults are retried; triangles and\n"
+    "                            counted block I/Os stay bit-identical to a\n"
+    "                            clean run\n"
+    "  --io-retries=<N>          retry budget per I/O operation (default 4)\n"
+    "  --io-retry-backoff-ms=<T> base backoff between retries, doubling per\n"
+    "                            attempt (default 0: retry immediately)\n"
+    "  --verify-checksums[=0|1]  keep per-line checksums on write and verify\n"
+    "                            them on fetch, detecting torn/corrupt blocks\n"
     "\n"
     "graph generators (`<name>:k1=v1,k2=v2,...`):\n"
     "  gnm:n=1024,m=4096,seed=1          Erdos-Renyi G(n, m)\n"
@@ -114,6 +128,10 @@ struct Options {
   std::string temp_dir;
   std::size_t threads = 1;
   simd::KernelMode kernels = simd::KernelMode::kAuto;
+  std::string faults;
+  int io_retries = 4;
+  int io_retry_backoff_ms = 0;
+  bool verify_checksums = false;
   std::string script;  // `trienum query` only
 };
 
@@ -149,6 +167,10 @@ Options ParseOptions(int argc, char** argv, bool query_mode = false) {
     }
     std::size_t eq = arg.find('=');
     if (eq == std::string::npos) {
+      if (arg == "--verify-checksums") {  // the one boolean flag: bare form ok
+        opt.verify_checksums = true;
+        continue;
+      }
       Die("options take the form --key=value: " + arg +
           " (run `trienum help` for the option table)");
     }
@@ -183,6 +205,20 @@ Options ParseOptions(int argc, char** argv, bool query_mode = false) {
         Die("--kernels must be auto, scalar, swar, or avx2, got '" + value +
             "'");
       }
+    } else if (key == "faults") {
+      opt.faults = value;
+    } else if (key == "io-retries") {
+      opt.io_retries = static_cast<int>(ParseU64(key, value));
+    } else if (key == "io-retry-backoff-ms") {
+      opt.io_retry_backoff_ms = static_cast<int>(ParseU64(key, value));
+    } else if (key == "verify-checksums") {
+      if (value == "1") {
+        opt.verify_checksums = true;
+      } else if (value == "0") {
+        opt.verify_checksums = false;
+      } else {
+        Die("--verify-checksums takes 0 or 1, got '" + value + "'");
+      }
     } else if (query_mode && key == "script") {
       opt.script = value;
     } else {
@@ -197,8 +233,9 @@ Options ParseOptions(int argc, char** argv, bool query_mode = false) {
     Die("--block must not exceed --memory (need at least one cache line)");
   }
   if (!opt.temp_dir.empty()) {
-    // Validate here so a bad path dies with a usage error instead of
-    // tripping the FileBackend's internal mkstemp TRIENUM_CHECK abort.
+    // Validate here so an obviously bad path dies with a usage error up
+    // front; paths that pass but still fail mkstemp (e.g. read-only
+    // directories) surface later as a clean IoError from FromEdges.
     std::error_code ec;
     if (!std::filesystem::is_directory(opt.temp_dir, ec)) {
       Die("--temp-dir '" + opt.temp_dir + "' is not an existing directory");
@@ -336,7 +373,7 @@ std::vector<graph::Edge> MakeGraph(const Options& opt) {
   }
 
   // Not a known generator: treat the whole spec as an edge-list file path.
-  Result<std::vector<graph::Edge>> r = graph::ReadEdgeListText(spec);
+  Result<std::vector<graph::Edge>> r = graph::ReadEdgeListAuto(spec);
   if (!r.ok()) {
     Die("cannot load graph '" + spec + "': " + r.status().ToString() +
         " (not a generator name either; see `trienum help`)");
@@ -375,6 +412,12 @@ em::EmConfig MakeEmConfig(const Options& opt) {
   cfg.seed = opt.seed;
   cfg.storage = opt.backend;
   cfg.temp_dir = opt.temp_dir;
+  cfg.fault_spec = opt.faults;
+  cfg.io_retries = opt.io_retries;
+  cfg.io_retry_backoff_ms = opt.io_retry_backoff_ms;
+  cfg.verify_checksums = opt.verify_checksums;
+  Status st = faults::ApplyFaultConfig(cfg);
+  if (!st.ok()) Die(st.ToString());
   return cfg;
 }
 
@@ -414,6 +457,12 @@ void PrintMeasurements(const query::QueryResult& r, std::size_t num_edges,
   std::printf("measured_over_bound = %.2f\n",
               bound > 0 ? static_cast<double>(r.io.total_ios()) / bound : 0.0);
   std::printf("lower_bound = %.0f\n", lower);
+  std::printf("recovery_retries = %llu\n",
+              static_cast<unsigned long long>(r.recovery.retries));
+  std::printf("recovery_faults_injected = %llu\n",
+              static_cast<unsigned long long>(r.recovery.faults_injected));
+  std::printf("recovery_checksum_failures = %llu\n",
+              static_cast<unsigned long long>(r.recovery.checksum_failures));
 }
 
 /// The query's payload lines (before the measurement block): triangles for
@@ -491,7 +540,10 @@ int CmdRun(const Options& opt, bool enumerate) {
 
   std::fprintf(stderr,
                "[normalize] degree-rank relabel + lexicographic sort (uncounted)\n");
-  query::LoadedGraph lg = query::LoadedGraph::FromEdges(MakeEmConfig(opt), raw);
+  Result<query::LoadedGraph> loaded =
+      query::LoadedGraph::FromEdges(MakeEmConfig(opt), raw);
+  if (!loaded.ok()) Die(loaded.status().ToString());
+  query::LoadedGraph lg = *std::move(loaded);
   const graph::EmGraph& g = lg.graph();
   std::fprintf(stderr, "[storage] %s backend\n",
                lg.store().device().backend().name());
@@ -621,7 +673,10 @@ int CmdQuery(const Options& opt) {
   std::fprintf(stderr, "[graph] building '%s'\n", opt.graph.c_str());
   std::vector<graph::Edge> raw = MakeGraph(opt);
   std::fprintf(stderr, "[graph] %zu raw edges\n", raw.size());
-  query::LoadedGraph lg = query::LoadedGraph::FromEdges(MakeEmConfig(opt), raw);
+  Result<query::LoadedGraph> loaded =
+      query::LoadedGraph::FromEdges(MakeEmConfig(opt), raw);
+  if (!loaded.ok()) Die(loaded.status().ToString());
+  query::LoadedGraph lg = *std::move(loaded);
   const graph::EmGraph& g = lg.graph();
   std::fprintf(stderr, "[normalize] E=%zu edges over V=%u vertices (uncounted)\n",
                g.num_edges(), g.num_vertices);
