@@ -53,6 +53,12 @@ void ExternalMergeSort(em::QuerySession& ctx, em::Array<T> data, Less less) {
     // most the records' own width there; the permutation applies in place),
     // or std::stable_sort's internal temp buffer on the keyless fallback.
     em::ScratchLease lease = ctx.LeaseScratch(2 * run_items * words_per);
+    // Run formation is one fully predictable pass: a sequential read of the
+    // whole input and a sequential write of the runs. Announce both so the
+    // prefetcher overlaps the M/2-word loads with SortRun's host compute
+    // (the bulk ReadTo below issues no Scanner of its own).
+    data.AdviseRange(0, n, em::AdviseKind::kSequentialRead);
+    ping.AdviseRange(0, n, em::AdviseKind::kSequentialWrite);
     std::vector<T> buf(std::min(run_items, n));
     RunScratch<T> rs;
     for (std::size_t lo = 0; lo < n; lo += run_items) {
@@ -74,6 +80,20 @@ void ExternalMergeSort(em::QuerySession& ctx, em::Array<T> data, Less less) {
   while (runs.size() > 1) {
     std::vector<std::pair<std::size_t, std::size_t>> next_runs;
     em::Writer<T> out(pong);
+    // Advise every run head of the pass up front — not just the current
+    // group's — so later groups' head blocks are already warming while this
+    // group merges. Each group's Scanners then advise their whole runs at
+    // construction (the Scanner ctor hook), which is what keeps the (M/B)-way
+    // merge's active heads staged.
+    {
+      const std::size_t head_records =
+          (4 * ctx.block_words()) / words_per + 1;
+      for (const auto& run : runs) {
+        src.AdviseRange(run.first,
+                        std::min(run.second, run.first + head_records),
+                        em::AdviseKind::kSequentialRead);
+      }
+    }
     for (std::size_t g = 0; g < runs.size(); g += fan) {
       std::size_t g_end = std::min(runs.size(), g + fan);
       std::size_t out_lo = out.count();

@@ -1,0 +1,223 @@
+#include "prefetch/prefetch.h"
+
+#include <cstring>
+
+namespace trienum::prefetch {
+
+namespace {
+
+// Advice memory is O(active streams); a runaway adviser (deep recursion
+// re-advising released regions) is capped rather than queued unboundedly —
+// dropping advice is always safe, it only forgoes overlap.
+constexpr std::size_t kMaxRanges = 64;
+
+}  // namespace
+
+PrefetchPool::PrefetchPool(em::StorageBackend* backend,
+                           std::size_t block_words, std::size_t depth,
+                           std::size_t threads)
+    : backend_(backend), block_words_(block_words), depth_(depth) {
+  TRIENUM_CHECK(backend_ != nullptr);
+  TRIENUM_CHECK(block_words_ > 0);
+  TRIENUM_CHECK_MSG(depth_ > 0, "PrefetchPool needs depth >= 1");
+  TRIENUM_CHECK_MSG(threads > 0, "PrefetchPool needs at least one worker");
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+PrefetchPool::~PrefetchPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void PrefetchPool::Advise(em::Addr addr, std::size_t words,
+                          em::AdviseKind kind) {
+  // Write advice never queues read-ahead (reading under a pure output
+  // stream could only waste device reads); the backend-level madvise half
+  // of the hint was already applied by GraphStore::Advise.
+  if (kind != em::AdviseKind::kSequentialRead || words == 0) return;
+  const auto first = static_cast<std::int64_t>(addr / block_words_);
+  const auto last = static_cast<std::int64_t>((addr + words - 1) / block_words_);
+  std::lock_guard<std::mutex> lk(mu_);
+  if (ranges_.size() >= kMaxRanges) return;
+  for (const Range& r : ranges_) {
+    // Already queued (typical for a Scanner's refill windows, which the
+    // construction-time whole-range advice covers).
+    if (r.cur <= first && last < r.end) return;
+  }
+  ranges_.push_back(Range{first, last + 1});
+  work_cv_.notify_one();
+}
+
+void PrefetchPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    work_cv_.wait(lk, [&] { return stop_ || HasWorkLocked(); });
+    if (stop_) return;
+    // Round-robin one line per pop across the advised streams, so an (M/B)-
+    // way merge's run heads all stay warm instead of one run hogging the
+    // staging slots.
+    Range r = ranges_.front();
+    ranges_.pop_front();
+    const std::int64_t line = r.cur++;
+    if (r.cur < r.end) ranges_.push_back(r);
+    if (slots_.count(line) != 0) {
+      // Already staged or in flight (overlapping advice): nothing to do,
+      // but the queue state changed — wake anyone draining it.
+      idle_cv_.notify_all();
+      continue;
+    }
+    auto slot = std::make_shared<Slot>();
+    slots_.emplace(line, slot);
+    ++in_flight_;
+    ++stats_.issued;
+    lk.unlock();
+
+    std::vector<em::Word> buf(block_words_);
+    Status st;
+    {
+      // All backend I/O serializes here — the decorated stack below is not
+      // thread-safe. The overlap win is this read running while the main
+      // thread computes, not parallel device traffic.
+      std::lock_guard<std::mutex> io(io_mu_);
+      st = backend_->ReadWords(static_cast<em::Addr>(line) * block_words_,
+                               block_words_, buf.data());
+    }
+
+    lk.lock();
+    --in_flight_;
+    if (slot->cancelled) {
+      // Invalidated while in flight (the table entry is already gone): the
+      // bytes predate the write that cancelled them — drop on the floor.
+      ++stats_.wasted;
+    } else {
+      slot->state = st.ok() ? Slot::State::kReady : Slot::State::kFailed;
+      if (st.ok()) slot->data = std::move(buf);
+    }
+    slot->ready_cv.notify_all();
+    idle_cv_.notify_all();
+  }
+}
+
+bool PrefetchPool::Consume(em::Addr line_base, std::size_t words,
+                           em::Word* out) {
+  TRIENUM_CHECK(words == block_words_);
+  std::unique_lock<std::mutex> lk(mu_);
+  const auto line = static_cast<std::int64_t>(line_base / block_words_);
+  // Trim: when the demand stream outpaces the workers, advance the matching
+  // range fronts — after this miss the line is cache-resident, so fetching
+  // it later could only be wasted.
+  for (auto it = ranges_.begin(); it != ranges_.end();) {
+    if (it->cur == line) ++it->cur;
+    it = it->cur >= it->end ? ranges_.erase(it) : it + 1;
+  }
+  auto found = slots_.find(line);
+  if (found == slots_.end()) return false;
+  std::shared_ptr<Slot> slot = found->second;
+  if (slot->state == Slot::State::kPending && !slot->cancelled) {
+    // In flight: wait for the per-slot completion handshake. Charged as a
+    // stall — the overlap was only partial — but still cheaper than
+    // re-issuing the read after the worker finishes it anyway.
+    ++stats_.stalls;
+    slot->ready_cv.wait(lk, [&] {
+      return slot->state != Slot::State::kPending || slot->cancelled;
+    });
+  }
+  // Re-find: the table may have changed across the wait (Invalidate/Clear
+  // erase entries; only erase the slot if it is still ours).
+  auto again = slots_.find(line);
+  const bool still_present = again != slots_.end() && again->second == slot;
+  if (slot->cancelled || slot->state != Slot::State::kReady) {
+    if (still_present) {
+      // A failed worker read is never served: drop it so the demand path
+      // re-issues the read with full retry/fault-latch semantics.
+      slots_.erase(again);
+      ++stats_.wasted;
+    }
+    work_cv_.notify_all();
+    return false;
+  }
+  std::memcpy(out, slot->data.data(), words * sizeof(em::Word));
+  if (still_present) slots_.erase(again);
+  ++stats_.useful;
+  work_cv_.notify_all();
+  idle_cv_.notify_all();
+  return true;
+}
+
+void PrefetchPool::Invalidate(em::Addr addr, std::size_t words) {
+  if (words == 0) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  if (slots_.empty()) return;
+  const auto first = static_cast<std::int64_t>(addr / block_words_);
+  const auto last = static_cast<std::int64_t>((addr + words - 1) / block_words_);
+  // Walk the table (O(depth)), never the address range: bulk uncounted
+  // writes can span millions of lines.
+  for (auto it = slots_.begin(); it != slots_.end();) {
+    if (it->first < first || it->first > last) {
+      ++it;
+      continue;
+    }
+    const std::shared_ptr<Slot>& slot = it->second;
+    slot->cancelled = true;
+    // Ready data dropped here counts wasted now; an in-flight fetch is
+    // counted by its worker on completion (exactly once either way).
+    if (slot->state != Slot::State::kPending) ++stats_.wasted;
+    slot->ready_cv.notify_all();
+    it = slots_.erase(it);
+  }
+  work_cv_.notify_all();
+  idle_cv_.notify_all();
+}
+
+void PrefetchPool::Clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ranges_.clear();
+  for (auto& [line, slot] : slots_) {
+    (void)line;
+    slot->cancelled = true;
+    if (slot->state != Slot::State::kPending) ++stats_.wasted;
+    slot->ready_cv.notify_all();
+  }
+  slots_.clear();
+  work_cv_.notify_all();
+  idle_cv_.notify_all();
+}
+
+em::PrefetchStats PrefetchPool::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+void PrefetchPool::WaitIdle() {
+  std::unique_lock<std::mutex> lk(mu_);
+  idle_cv_.wait(lk, [&] {
+    return in_flight_ == 0 && (ranges_.empty() || slots_.size() >= depth_);
+  });
+}
+
+Status ApplyPrefetchConfig(em::EmConfig& cfg) {
+  if (cfg.prefetch_depth == 0) {
+    // Off is the default path: no hook, no pool, no background threads.
+    cfg.make_prefetcher = nullptr;
+    return Status::OK();
+  }
+  if (cfg.prefetch_threads == 0) {
+    return Status::InvalidArgument(
+        "prefetch_threads must be >= 1 when prefetch_depth > 0");
+  }
+  cfg.make_prefetcher = [](em::StorageBackend* backend,
+                           const em::EmConfig& c) {
+    return std::unique_ptr<em::LinePrefetcher>(std::make_unique<PrefetchPool>(
+        backend, c.block_words, c.prefetch_depth, c.prefetch_threads));
+  };
+  return Status::OK();
+}
+
+}  // namespace trienum::prefetch

@@ -1,0 +1,131 @@
+// PrefetchPool: asynchronous scan-predictable read-ahead for the staged
+// cache, bit-invisible to counted state.
+//
+// The paper's algorithms are sorts and scans whose block access patterns are
+// fully known before they execute; Scanner/Writer announce those patterns
+// through the advice hook (GraphStore::Advise), and this pool turns read
+// advice into background block fetches that overlap with host compute. The
+// hard contract — the same one threads (PR 5), kernels (PR 7) and faults
+// (PR 8) obey — is that prefetch can never change triangles, emission order,
+// counted IoStats, or work:
+//
+//   * the counted path is unchanged: Cache::TouchLine fires the identical
+//     LRU charge sequence at the identical point; when the missed block is
+//     already staged here, the *physical* read becomes a memcpy from the
+//     staging slot instead of a blocking backend read;
+//   * staging composes below the Recovering/FaultInjecting stack: workers
+//     read through the same decorated backend demand reads use, so retries
+//     and checksums see real device reads (a failed worker read is simply
+//     not consumed — the demand path re-issues it with full fault latching);
+//   * every backend call — worker read-ahead, demand staging I/O, and
+//     allocation growth — serializes under io_mutex(), because backends and
+//     their decorators are not thread-safe. Overlap comes from prefetch I/O
+//     vs host compute, never from parallel I/O;
+//   * completion is a mutex + condvar handshake per staging slot: a counted
+//     miss either consumes a ready slot, waits for an in-flight one (a
+//     "stall"), or falls back to a synchronous read. No speculative cache
+//     mutation ever happens.
+//
+// Layering mirrors src/faults/: the em layer defines the LinePrefetcher
+// interface and carries the configuration (EmConfig::prefetch_depth /
+// prefetch_threads / make_prefetcher); ApplyPrefetchConfig installs the
+// factory, and GraphStore instantiates the pool only when the cache stages
+// real data. Depth 0 is the default: no hook, no threads, zero overhead.
+#ifndef TRIENUM_PREFETCH_PREFETCH_H_
+#define TRIENUM_PREFETCH_PREFETCH_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "em/defs.h"
+#include "em/storage.h"
+
+namespace trienum::prefetch {
+
+class PrefetchPool final : public em::LinePrefetcher {
+ public:
+  /// `backend` is the (possibly decorated) stack the cache stages against;
+  /// the pool holds at most `depth` staged blocks and runs `threads`
+  /// dedicated I/O workers. depth >= 1, threads >= 1.
+  PrefetchPool(em::StorageBackend* backend, std::size_t block_words,
+               std::size_t depth, std::size_t threads);
+  ~PrefetchPool() override;
+  PrefetchPool(const PrefetchPool&) = delete;
+  PrefetchPool& operator=(const PrefetchPool&) = delete;
+
+  // --- em::LinePrefetcher ---------------------------------------------------
+  void Advise(em::Addr addr, std::size_t words, em::AdviseKind kind) override;
+  bool Consume(em::Addr line_base, std::size_t words, em::Word* out) override;
+  void Invalidate(em::Addr addr, std::size_t words) override;
+  void Clear() override;
+  em::PrefetchStats stats() const override;
+  std::mutex& io_mutex() override { return io_mu_; }
+
+  /// Blocks until the workers have drained everything currently actionable
+  /// (no fetch in flight, and the advice queue is empty or staging is at
+  /// capacity). Determinism hook for tests and benches; never needed for
+  /// correctness.
+  void WaitIdle();
+
+  std::size_t depth() const { return depth_; }
+  std::size_t threads() const { return workers_.size(); }
+
+ private:
+  /// One staged (or in-flight) block. Held by shared_ptr so a consumer can
+  /// wait on the handshake even if the table entry is invalidated meanwhile.
+  struct Slot {
+    enum class State { kPending, kReady, kFailed };
+    State state = State::kPending;
+    bool cancelled = false;  // invalidated while in flight; never consume
+    std::vector<em::Word> data;
+    std::condition_variable ready_cv;  // completion handshake (uses mu_)
+  };
+
+  /// An advised line range [cur, end) still to be fetched. Whole remaining
+  /// scans are stored as ranges, so advice memory is O(active streams), not
+  /// O(lines).
+  struct Range {
+    std::int64_t cur;
+    std::int64_t end;
+  };
+
+  void WorkerLoop();
+  bool HasWorkLocked() const {
+    return !ranges_.empty() && slots_.size() < depth_;
+  }
+
+  em::StorageBackend* backend_;
+  const std::size_t block_words_;
+  const std::size_t depth_;
+
+  std::mutex io_mu_;  // serializes ALL backend I/O (workers + cache)
+
+  mutable std::mutex mu_;  // pool state below
+  std::condition_variable work_cv_;  // workers: advice arrived / slot freed
+  std::condition_variable idle_cv_;  // WaitIdle
+  std::deque<Range> ranges_;
+  std::unordered_map<std::int64_t, std::shared_ptr<Slot>> slots_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+  em::PrefetchStats stats_;
+
+  std::vector<std::thread> workers_;
+};
+
+/// Validates cfg.prefetch_depth/prefetch_threads and installs
+/// cfg.make_prefetcher (cleared when depth is 0, leaving the default path
+/// with no background machinery at all) — the exact pattern of
+/// faults::ApplyFaultConfig. Returns InvalidArgument on a zero thread count
+/// with a nonzero depth.
+Status ApplyPrefetchConfig(em::EmConfig& cfg);
+
+}  // namespace trienum::prefetch
+
+#endif  // TRIENUM_PREFETCH_PREFETCH_H_

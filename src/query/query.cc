@@ -100,8 +100,12 @@ Result<QueryResult> RunQuery(em::QuerySession& session,
   }
   TRIENUM_CHECK(sink != nullptr);
 
-  em::StorageTelemetry tel_before = session.device().backend().telemetry();
-  em::RecoveryStats rec_before = session.device().backend().recovery();
+  // The _snapshot accessors serialize against prefetch workers; taken after
+  // Reset(), so staging leftovers a previous query abandoned were already
+  // cleared (and counted wasted) against that query's epoch.
+  em::StorageTelemetry tel_before = session.store().telemetry_snapshot();
+  em::RecoveryStats rec_before = session.store().recovery_snapshot();
+  em::PrefetchStats pf_before = session.store().prefetch_stats();
   auto t0 = std::chrono::steady_clock::now();
   Status run_status;
   try {
@@ -131,8 +135,9 @@ Result<QueryResult> RunQuery(em::QuerySession& session,
   r.io = session.cache().stats();
   r.work = session.work();
   r.device_peak_words = session.device().peak_words();
-  r.telemetry = session.device().backend().telemetry() - tel_before;
-  r.recovery = session.device().backend().recovery() - rec_before;
+  r.telemetry = session.store().telemetry_snapshot() - tel_before;
+  r.recovery = session.store().recovery_snapshot() - rec_before;
+  r.prefetch = session.store().prefetch_stats() - pf_before;
   r.wall_ms = std::chrono::duration_cast<
                   std::chrono::duration<double, std::milli>>(t1 - t0)
                   .count();

@@ -116,6 +116,23 @@ TEST(CliSmoke, FileBackendMatchesMemoryBackend) {
   EXPECT_GT(std::stoull(ReportValue(file, "real_bytes_read")), 0u);
 }
 
+TEST(CliSmoke, MmapBackendMatchesMemoryBackend) {
+  // Same differential for the third backend: identical triangles and
+  // simulated block I/Os. The mapping is the direct view (counting-only
+  // cache), so like the memory backend it moves no bytes through the
+  // ReadWords/WriteWords API.
+  const std::string common =
+      "count --algo=ps-cache-aware --graph=rmat:scale=8,m=2000,seed=11"
+      " --memory=2048 --block=32 --seed=7";
+  std::string mem = RunCli(common + " --backend=memory");
+  std::string mmap = RunCli(common + " --backend=mmap");
+  EXPECT_EQ(ReportValue(mmap, "backend"), "mmap");
+  EXPECT_EQ(ReportValue(mem, "triangles"), ReportValue(mmap, "triangles"));
+  EXPECT_EQ(ReportValue(mem, "block_reads"), ReportValue(mmap, "block_reads"));
+  EXPECT_EQ(ReportValue(mem, "block_writes"),
+            ReportValue(mmap, "block_writes"));
+}
+
 TEST(CliSmoke, InvalidBackendFails) {
   RunCli("count --algo=ps-cache-aware --graph=clique:k=5 --backend=floppy",
          /*expected_status=*/2);
@@ -216,6 +233,69 @@ TEST(CliSmoke, UnknownOptionFailsWithUsageHint) {
          /*expected_status=*/2);
 }
 
+// Writes `content` to a unique temp file and returns its path; the file is
+// removed when the returned guard dies.
+struct TempScript {
+  std::string path;
+  explicit TempScript(const std::string& content) {
+    char tmpl[] = "/tmp/trienum-test-script-XXXXXX";
+    int fd = mkstemp(tmpl);
+    EXPECT_GE(fd, 0);
+    path = tmpl;
+    EXPECT_EQ(write(fd, content.data(), content.size()),
+              static_cast<ssize_t>(content.size()));
+    close(fd);
+  }
+  ~TempScript() { unlink(path.c_str()); }
+};
+
+TEST(CliPrefetch, DepthIsEchoedAndLeavesCountedStatsBitIdentical) {
+  // The prefetch contract end to end through the CLI: read-ahead changes
+  // only the prefetch_* lines — triangles and every counted I/O number
+  // match the depth-0 run exactly, and the header echoes the depth.
+  const std::string common =
+      "count --algo=mgt --graph=rmat:scale=8,m=2000,seed=11"
+      " --memory=2048 --block=32 --seed=7 --backend=file";
+  std::string off = RunCli(common);
+  std::string on = RunCli(common + " --prefetch=8 --prefetch-threads=2");
+  EXPECT_EQ(ReportValue(off, "prefetch"), "0");
+  EXPECT_EQ(ReportValue(on, "prefetch"), "8");
+  for (const char* key : {"triangles", "block_reads", "block_writes",
+                          "block_ios", "internal_work"}) {
+    EXPECT_EQ(ReportValue(on, key), ReportValue(off, key)) << key;
+  }
+  EXPECT_EQ(ReportValue(off, "prefetch_issued"), "0");
+}
+
+TEST(CliPrefetch, DepthZeroAndMemoryResidentBackendsStayInert) {
+  // The knob must be harmless where there is nothing to stage: on the
+  // memory/mmap backends the cache runs counting-only and no pool is built.
+  std::string out = RunCli(
+      "count --algo=ps-cache-aware --graph=clique:k=8 --memory=1024"
+      " --block=16 --backend=mmap --prefetch=8");
+  EXPECT_EQ(ReportValue(out, "prefetch"), "8");
+  EXPECT_EQ(ReportValue(out, "prefetch_issued"), "0");
+  EXPECT_EQ(ReportValue(out, "triangles"), "56");  // C(8,3)
+}
+
+TEST(CliPrefetch, QueryReportsCarryThePrefetchHeader) {
+  TempScript script("count --algo=mgt\n");
+  std::string out = RunCli(
+      "query --graph=clique:k=8 --memory=1024 --block=16 --backend=file"
+      " --prefetch=4 --script=" + script.path);
+  EXPECT_EQ(ReportValue(out, "prefetch"), "4");
+  EXPECT_EQ(ReportValue(out, "triangles"), "56");
+}
+
+TEST(CliPrefetch, MalformedPrefetchFlagsFail) {
+  RunCli("count --graph=clique:k=5 --prefetch=deep", /*expected_status=*/2);
+  RunCli("count --graph=clique:k=5 --prefetch=-1", /*expected_status=*/2);
+  RunCli("count --graph=clique:k=5 --prefetch-threads=many",
+         /*expected_status=*/2);
+  RunCli("count --graph=clique:k=5 --prefetch=4 --prefetch-threads=0",
+         /*expected_status=*/2);
+}
+
 TEST(CliFaults, TransientScheduleLeavesTheReportBitIdentical) {
   // The recovery contract end to end through the CLI: a seeded transient
   // fault schedule changes only the recovery_* lines — triangles and every
@@ -274,22 +354,6 @@ TEST(CliFaults, MkstempFailureDiesCleanlyInsteadOfAborting) {
       " --temp-dir=/proc/sys",
       /*expected_status=*/2);
 }
-
-// Writes `content` to a unique temp file and returns its path; the file is
-// removed when the returned guard dies.
-struct TempScript {
-  std::string path;
-  explicit TempScript(const std::string& content) {
-    char tmpl[] = "/tmp/trienum-test-script-XXXXXX";
-    int fd = mkstemp(tmpl);
-    EXPECT_GE(fd, 0);
-    path = tmpl;
-    EXPECT_EQ(write(fd, content.data(), content.size()),
-              static_cast<ssize_t>(content.size()));
-    close(fd);
-  }
-  ~TempScript() { unlink(path.c_str()); }
-};
 
 TEST(CliQuery, ScriptAnswersEveryQueryWithPerQueryIo) {
   TempScript script(

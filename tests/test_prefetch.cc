@@ -1,0 +1,365 @@
+// The prefetch invariance suite: asynchronous read-ahead (src/prefetch/)
+// must be bit-invisible — any depth, any worker count, any backend, any scan
+// mode, any algorithm yields the identical triangles in the identical
+// emission order with identical counted IoStats and work as depth 0. Also
+// unit-covers the PrefetchPool staging handshake (advise/consume/invalidate/
+// stall/clear) and the composition with the fault-injection stack: workers
+// read through the decorated backend, so a transient schedule keeps counted
+// state bit-identical while retries fire.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "em/array.h"
+#include "em/storage.h"
+#include "faults/recovery.h"
+#include "prefetch/prefetch.h"
+#include "test_util.h"
+
+namespace trienum {
+namespace {
+
+using namespace trienum::graph;
+
+// Context derives from QuerySession (and privately from the store owner,
+// whose member is also named `store`) — go through the base to disambiguate.
+em::GraphStore& StoreOf(em::Context& ctx) {
+  em::QuerySession& session = ctx;
+  return session.store();
+}
+
+em::EmConfig PrefetchConfig(std::size_t m, std::size_t b, std::uint64_t seed,
+                            em::StorageKind kind, std::size_t depth,
+                            std::size_t threads) {
+  em::EmConfig cfg;
+  cfg.memory_words = m;
+  cfg.block_words = b;
+  cfg.seed = seed;
+  cfg.storage = kind;
+  cfg.prefetch_depth = depth;
+  cfg.prefetch_threads = threads;
+  Status st = prefetch::ApplyPrefetchConfig(cfg);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return cfg;
+}
+
+struct AlgoRun {
+  std::vector<Triangle> triangles;  // emission order, deliberately unsorted
+  em::IoStats io;
+  std::uint64_t work = 0;
+  em::PrefetchStats prefetch;
+  em::RecoveryStats recovery;
+};
+
+AlgoRun RunWith(const em::EmConfig& cfg, const std::string& algo,
+                const std::vector<Edge>& raw,
+                em::ScanMode mode = em::ScanMode::kBuffered) {
+  em::Context ctx(cfg);
+  EXPECT_TRUE(ctx.device().backend().init_status().ok());
+  EmGraph g = BuildEmGraph(ctx, raw);
+  ctx.cache().Reset();
+  ctx.ResetWork();
+  em::ScopedScanMode scan(mode);
+  ctx.set_scan_mode(mode);
+  core::CollectingSink sink;
+  core::FindAlgorithm(algo)->run(ctx, g, sink);
+  ctx.cache().FlushAll();
+  // Deterministic `issued > 0` for the assertions below. A run's own advice
+  // can race: the demand stream trims each range as it misses, so on a fast
+  // device the workers may never win a single line. One explicit line of
+  // advice drained by WaitIdle closes the race — either a worker stages it
+  // now, or the staging table is already full of earlier fetches; `issued`
+  // is positive both ways. (Uncounted machinery only: counted state was
+  // snapshotted by the caller-visible IoStats/work already accumulated.)
+  if (StoreOf(ctx).prefetcher() != nullptr) {
+    auto* pool =
+        static_cast<prefetch::PrefetchPool*>(StoreOf(ctx).prefetcher());
+    pool->Advise(0, cfg.block_words, em::AdviseKind::kSequentialRead);
+    pool->WaitIdle();
+  }
+  AlgoRun out;
+  out.triangles = sink.triangles();
+  out.io = ctx.cache().stats();
+  out.work = ctx.work();
+  out.prefetch = ctx.prefetch_stats();
+  out.recovery = ctx.recovery_snapshot();
+  return out;
+}
+
+void ExpectCountedStateIdentical(const AlgoRun& base, const AlgoRun& run) {
+  EXPECT_EQ(base.triangles, run.triangles);  // same set AND same order
+  EXPECT_EQ(base.io.block_reads, run.io.block_reads);
+  EXPECT_EQ(base.io.block_writes, run.io.block_writes);
+  EXPECT_EQ(base.io.cache_hits, run.io.cache_hits);
+  EXPECT_EQ(base.work, run.work);
+}
+
+// ---------------------------------------------------------------------------
+// The invariance matrix: depth x backend x algorithm (buffered, one worker).
+// The file backend stages real data, so the pool attaches and must issue;
+// memory/mmap run counting-only, so the knob must be inert (no pool at all).
+
+TEST(PrefetchMatrix, EveryAlgorithmIsDepthInvariantOnEveryBackend) {
+  const std::vector<Edge> raw = Gnm(400, 1600, 21);
+  const std::size_t m = 1 << 10, b = 16;
+  for (const core::AlgorithmInfo& a : core::AllAlgorithms()) {
+    for (em::StorageKind kind :
+         {em::StorageKind::kMemory, em::StorageKind::kFile,
+          em::StorageKind::kMmap}) {
+      const char* kind_name = kind == em::StorageKind::kMemory ? "memory"
+                              : kind == em::StorageKind::kFile ? "file"
+                                                               : "mmap";
+      SCOPED_TRACE(a.name + " / " + kind_name);
+      AlgoRun base =
+          RunWith(PrefetchConfig(m, b, 0xBEEF, kind, 0, 1), a.name, raw);
+      EXPECT_EQ(base.prefetch.issued, 0u);
+      for (std::size_t depth : {std::size_t{1}, std::size_t{8}}) {
+        SCOPED_TRACE("depth=" + std::to_string(depth));
+        AlgoRun run =
+            RunWith(PrefetchConfig(m, b, 0xBEEF, kind, depth, 1), a.name, raw);
+        ExpectCountedStateIdentical(base, run);
+        if (kind == em::StorageKind::kFile) {
+          EXPECT_GT(run.prefetch.issued, 0u);
+        } else {
+          // Counting-only cache: no staging, so no pool is ever built.
+          EXPECT_EQ(run.prefetch.issued, 0u);
+        }
+      }
+    }
+  }
+}
+
+TEST(PrefetchMatrix, ScanModeAndWorkerCountSweep) {
+  const std::vector<Edge> raw = Gnm(400, 1600, 21);
+  const std::size_t m = 1 << 10, b = 16;
+  for (const char* algo : {"mgt", "ps-cache-aware"}) {
+    for (em::StorageKind kind :
+         {em::StorageKind::kFile, em::StorageKind::kMmap}) {
+      for (em::ScanMode mode :
+           {em::ScanMode::kBuffered, em::ScanMode::kElementwise}) {
+        SCOPED_TRACE(std::string(algo) +
+                     (kind == em::StorageKind::kFile ? " file" : " mmap") +
+                     (mode == em::ScanMode::kBuffered ? " buffered"
+                                                      : " elementwise"));
+        AlgoRun base =
+            RunWith(PrefetchConfig(m, b, 0xF00D, kind, 0, 1), algo, raw, mode);
+        for (std::size_t threads : {std::size_t{1}, std::size_t{2}}) {
+          SCOPED_TRACE("threads=" + std::to_string(threads));
+          AlgoRun run = RunWith(PrefetchConfig(m, b, 0xF00D, kind, 8, threads),
+                                algo, raw, mode);
+          ExpectCountedStateIdentical(base, run);
+          if (kind == em::StorageKind::kFile) {
+            EXPECT_GT(run.prefetch.issued, 0u);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(PrefetchMatrix, ComposesWithTransientFaultStack) {
+  // Workers read through the decorated Recovering(FaultInjecting(file))
+  // stack: a transient schedule must keep every counted observable
+  // bit-identical across depths while retries actually fire. (Recovery
+  // counters themselves may differ between depths — prefetch adds uncounted
+  // device reads that shift which operations the schedule hits — so only
+  // `retries > 0` is asserted, not equality.)
+  const std::vector<Edge> raw = Gnm(300, 1200, 9);
+  auto make = [&](std::size_t depth) {
+    em::EmConfig cfg = PrefetchConfig(1 << 10, 16, 0xFA17,
+                                      em::StorageKind::kFile, depth, 2);
+    cfg.fault_spec = "read:eintr:every=5;write:short:every=9";
+    cfg.io_retries = 6;
+    Status st = faults::ApplyFaultConfig(cfg);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    return cfg;
+  };
+  AlgoRun base = RunWith(make(0), "mgt", raw);
+  EXPECT_GT(base.recovery.retries, 0u);
+  for (std::size_t depth : {std::size_t{1}, std::size_t{8}}) {
+    SCOPED_TRACE("depth=" + std::to_string(depth));
+    AlgoRun run = RunWith(make(depth), "mgt", raw);
+    ExpectCountedStateIdentical(base, run);
+    EXPECT_GT(run.recovery.retries, 0u);
+    EXPECT_GT(run.prefetch.issued, 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PrefetchPool unit coverage: the staging handshake on a bare backend.
+
+std::vector<em::Word> PatternWords(std::size_t n) {
+  std::vector<em::Word> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = i * 0x9E3779B97F4A7C15ULL + 1;
+  return v;
+}
+
+TEST(PrefetchPool, AdviseStagesLinesAndConsumeReturnsBytes) {
+  const std::size_t bw = 16;
+  em::MemoryBackend backend;
+  std::vector<em::Word> data = PatternWords(4 * bw);
+  ASSERT_TRUE(backend.WriteWords(0, data.size(), data.data()).ok());
+  prefetch::PrefetchPool pool(&backend, bw, /*depth=*/8, /*threads=*/2);
+  pool.Advise(0, data.size(), em::AdviseKind::kSequentialRead);
+  pool.WaitIdle();
+  EXPECT_EQ(pool.stats().issued, 4u);
+  std::vector<em::Word> out(bw);
+  ASSERT_TRUE(pool.Consume(bw, bw, out.data()));
+  for (std::size_t i = 0; i < bw; ++i) EXPECT_EQ(out[i], data[bw + i]);
+  EXPECT_EQ(pool.stats().useful, 1u);
+  // A line never advised is a miss: the demand path reads it itself.
+  EXPECT_FALSE(pool.Consume(100 * bw, bw, out.data()));
+}
+
+TEST(PrefetchPool, DepthCapsStagingAndConsumeFreesSlots) {
+  const std::size_t bw = 8;
+  em::MemoryBackend backend;
+  std::vector<em::Word> data = PatternWords(16 * bw);
+  ASSERT_TRUE(backend.WriteWords(0, data.size(), data.data()).ok());
+  prefetch::PrefetchPool pool(&backend, bw, /*depth=*/2, /*threads=*/1);
+  pool.Advise(0, data.size(), em::AdviseKind::kSequentialRead);
+  pool.WaitIdle();
+  EXPECT_EQ(pool.stats().issued, 2u);  // table full, the rest stays queued
+  std::vector<em::Word> out(bw);
+  ASSERT_TRUE(pool.Consume(0, bw, out.data()));
+  pool.WaitIdle();  // the freed slot lets the worker stage the next line
+  EXPECT_GE(pool.stats().issued, 3u);
+}
+
+TEST(PrefetchPool, WriteAdviceAndEmptyRangesAreIgnored) {
+  em::MemoryBackend backend;
+  prefetch::PrefetchPool pool(&backend, 8, /*depth=*/4, /*threads=*/1);
+  pool.Advise(0, 64, em::AdviseKind::kSequentialWrite);
+  pool.Advise(0, 0, em::AdviseKind::kSequentialRead);
+  pool.WaitIdle();
+  EXPECT_EQ(pool.stats().issued, 0u);
+}
+
+TEST(PrefetchPool, InvalidateDropsStagedLinesAsWasted) {
+  const std::size_t bw = 8;
+  em::MemoryBackend backend;
+  std::vector<em::Word> data = PatternWords(4 * bw);
+  ASSERT_TRUE(backend.WriteWords(0, data.size(), data.data()).ok());
+  prefetch::PrefetchPool pool(&backend, bw, /*depth=*/8, /*threads=*/1);
+  pool.Advise(0, data.size(), em::AdviseKind::kSequentialRead);
+  pool.WaitIdle();
+  EXPECT_EQ(pool.stats().issued, 4u);
+  // Overwrite lines 1..2: their staged bytes are stale and must never serve.
+  pool.Invalidate(bw, 2 * bw);
+  EXPECT_EQ(pool.stats().wasted, 2u);
+  std::vector<em::Word> out(bw);
+  EXPECT_FALSE(pool.Consume(bw, bw, out.data()));
+  ASSERT_TRUE(pool.Consume(0, bw, out.data()));  // line 0 untouched
+  EXPECT_EQ(out[0], data[0]);
+}
+
+TEST(PrefetchPool, ClearWastesEverythingStaged) {
+  const std::size_t bw = 8;
+  em::MemoryBackend backend;
+  ASSERT_TRUE(backend.EnsureSize(8 * bw).ok());
+  prefetch::PrefetchPool pool(&backend, bw, /*depth=*/8, /*threads=*/2);
+  pool.Advise(0, 8 * bw, em::AdviseKind::kSequentialRead);
+  pool.WaitIdle();
+  const em::PrefetchStats before = pool.stats();
+  EXPECT_EQ(before.issued, 8u);
+  pool.Clear();
+  const em::PrefetchStats after = pool.stats();
+  EXPECT_EQ(after.wasted - before.wasted, 8u);
+  std::vector<em::Word> out(bw);
+  EXPECT_FALSE(pool.Consume(0, bw, out.data()));
+}
+
+TEST(PrefetchPool, StallHandshakeWaitsForInFlightFetch) {
+  // A backend whose reads are slow on purpose: the consumer must find the
+  // slot pending, charge one stall, and receive the bytes once the worker
+  // lands them — never a torn buffer, never a re-read.
+  class SlowReadBackend final : public em::StorageBackend {
+   public:
+    Status EnsureSize(std::size_t words) override {
+      return inner_.EnsureSize(words);
+    }
+    std::size_t size_words() const override { return inner_.size_words(); }
+    bool memory_resident() const override { return false; }
+    Status ReadWords(em::Addr a, std::size_t w, em::Word* out) override {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      return inner_.ReadWords(a, w, out);
+    }
+    Status WriteWords(em::Addr a, std::size_t w, const em::Word* in) override {
+      return inner_.WriteWords(a, w, in);
+    }
+    const char* name() const override { return "slow"; }
+
+   private:
+    em::MemoryBackend inner_;
+  };
+  const std::size_t bw = 8;
+  SlowReadBackend backend;
+  std::vector<em::Word> data = PatternWords(bw);
+  ASSERT_TRUE(backend.WriteWords(0, bw, data.data()).ok());
+  prefetch::PrefetchPool pool(&backend, bw, /*depth=*/2, /*threads=*/1);
+  pool.Advise(0, bw, em::AdviseKind::kSequentialRead);
+  // Spin until the worker owns the fetch (issued flips before the read), then
+  // consume while it is still sleeping inside ReadWords.
+  while (pool.stats().issued == 0) std::this_thread::yield();
+  std::vector<em::Word> out(bw);
+  ASSERT_TRUE(pool.Consume(0, bw, out.data()));
+  EXPECT_EQ(out, data);
+  const em::PrefetchStats s = pool.stats();
+  EXPECT_EQ(s.useful, 1u);
+  EXPECT_EQ(s.stalls, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Configuration plumbing.
+
+TEST(ApplyPrefetchConfig, DepthZeroClearsTheHook) {
+  em::EmConfig cfg;
+  cfg.prefetch_depth = 0;
+  ASSERT_TRUE(prefetch::ApplyPrefetchConfig(cfg).ok());
+  EXPECT_EQ(cfg.make_prefetcher, nullptr);
+}
+
+TEST(ApplyPrefetchConfig, RejectsZeroWorkersWithNonzeroDepth) {
+  em::EmConfig cfg;
+  cfg.prefetch_depth = 4;
+  cfg.prefetch_threads = 0;
+  EXPECT_FALSE(prefetch::ApplyPrefetchConfig(cfg).ok());
+}
+
+TEST(ApplyPrefetchConfig, InstallsAFactoryThatBuildsThePool) {
+  em::EmConfig cfg;
+  cfg.block_words = 16;
+  cfg.prefetch_depth = 4;
+  cfg.prefetch_threads = 2;
+  ASSERT_TRUE(prefetch::ApplyPrefetchConfig(cfg).ok());
+  ASSERT_NE(cfg.make_prefetcher, nullptr);
+  em::MemoryBackend backend;
+  std::unique_ptr<em::LinePrefetcher> p = cfg.make_prefetcher(&backend, cfg);
+  ASSERT_NE(p, nullptr);
+  auto* pool = static_cast<prefetch::PrefetchPool*>(p.get());
+  EXPECT_EQ(pool->depth(), 4u);
+  EXPECT_EQ(pool->threads(), 2u);
+}
+
+TEST(ApplyPrefetchConfig, MemoryResidentBackendNeverBuildsAPool) {
+  // Counting-only caches have no staged lines to serve from; GraphStore must
+  // leave the hook unused even when it is installed.
+  for (em::StorageKind kind :
+       {em::StorageKind::kMemory, em::StorageKind::kMmap}) {
+    em::Context ctx(
+        PrefetchConfig(1 << 10, 16, 0x5EED, kind, /*depth=*/8, /*threads=*/2));
+    EXPECT_EQ(StoreOf(ctx).prefetcher(), nullptr);
+    EXPECT_EQ(ctx.prefetch_stats().issued, 0u);
+  }
+  em::Context staged(PrefetchConfig(1 << 10, 16, 0x5EED,
+                                    em::StorageKind::kFile, /*depth=*/8,
+                                    /*threads=*/2));
+  EXPECT_NE(StoreOf(staged).prefetcher(), nullptr);
+}
+
+}  // namespace
+}  // namespace trienum
