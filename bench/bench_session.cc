@@ -5,17 +5,39 @@
 // per-query I/O is bit-identical on both sides by the session-reuse
 // contract, so the counters double as a standing check that reuse never
 // drifts. BENCH_session.json commits the amortization curve (k = 1, 4, 16).
+// With TRIENUM_BENCH_TRACE=1 every iteration runs with a TraceCollector
+// installed (spans recording, sampler attributing, histograms windowed).
+// bench/run_benches.sh writes that mode to BENCH_session_traced.json and CI
+// gates it against the untraced BENCH_session.json: tracing must cost <= 5%
+// wall clock, or the "bit-invisible and cheap" contract is broken.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
+#include "obs/trace.h"
 #include "query/query.h"
 
 namespace trienum::bench {
 namespace {
+
+/// The process-wide collector for traced mode, or nullptr when untraced.
+/// Static storage: installed once, lives for the whole bench process.
+obs::TraceCollector* BenchCollector() {
+  static obs::TraceCollector* tc = []() -> obs::TraceCollector* {
+    const char* env = std::getenv("TRIENUM_BENCH_TRACE");
+    if (env == nullptr || env[0] == '\0' || std::string(env) == "0") {
+      return nullptr;
+    }
+    static obs::TraceCollector collector;
+    obs::InstallTraceCollector(&collector);
+    return &collector;
+  }();
+  return tc;
+}
 
 constexpr std::size_t kMemWords = 4096;
 constexpr std::size_t kBlockWords = 64;
@@ -44,6 +66,9 @@ void BM_SessionLoadOncePlusKQueries(benchmark::State& state) {
   std::uint64_t triangles = 0;
   em::IoStats per_query_io;
   for (auto _ : state) {
+    // Traced mode: drop the previous iteration's events so the recording
+    // buffer stays bounded (the cost measured is span capture, not realloc).
+    if (obs::TraceCollector* tc = BenchCollector()) tc->Clear();
     auto t0 = std::chrono::steady_clock::now();
     query::LoadedGraph lg = *query::LoadedGraph::FromEdges(BenchConfig(), raw);
     for (std::size_t i = 0; i < k; ++i) {
@@ -83,6 +108,7 @@ void BM_SessionKFullRuns(benchmark::State& state) {
   double wall_ms = 0;
   RunOutcome out;
   for (auto _ : state) {
+    if (obs::TraceCollector* tc = BenchCollector()) tc->Clear();
     auto t0 = std::chrono::steady_clock::now();
     for (std::size_t i = 0; i < k; ++i) {
       out = MeasureAlgorithm("ps-cache-aware", raw, kMemWords, kBlockWords,

@@ -32,20 +32,14 @@ if [[ ! -x "${bench_dir}/bench_backends" ]]; then
 fi
 
 mkdir -p "${out_dir}"
-found=0
-for bin in "${bench_dir}"/bench_*; do
-  [[ -f "${bin}" && -x "${bin}" ]] || continue
-  found=1
-  name="$(basename "${bin}")"
-  out="${out_dir}/BENCH_${name#bench_}.json"
-  echo "== ${name} -> ${out}"
-  "${bin}" --benchmark_format=json "$@" > "${out}"
 
-  # Every benchmark entry carries wall_ms: benches that measure the run
-  # themselves report it as a counter; for the rest, derive it from
-  # google-benchmark's real_time so the committed perf trajectory always has
-  # a comparable wall-clock column.
-  python3 - "${out}" <<'PYEOF'
+# Every benchmark entry carries wall_ms: benches that measure the run
+# themselves report it as a counter; for the rest, derive it from
+# google-benchmark's real_time so the committed perf trajectory always has
+# a comparable wall-clock column. Also stamps machine/knob provenance into
+# the JSON context.
+postprocess() {
+  python3 - "$1" <<'PYEOF'
 import json, os, sys
 path = sys.argv[1]
 with open(path) as f:
@@ -58,22 +52,49 @@ for b in doc.get("benchmarks", []):
 # pool default was (per-case sweeps report their own `threads` counter).
 # The prefetch depth is stamped the same way (TRIENUM_BENCH_PREFETCH,
 # default 0); bench_prefetch additionally sweeps explicit per-case depths
-# as a `depth` counter.
+# as a `depth` counter. `traced` records whether a TraceCollector was
+# installed for the run (TRIENUM_BENCH_TRACE=1).
 ctx = doc.setdefault("context", {})
 ctx["host_cores"] = os.cpu_count() or 1
 ctx["threads"] = int(os.environ.get("TRIENUM_BENCH_THREADS", "1"))
 ctx["prefetch"] = int(os.environ.get("TRIENUM_BENCH_PREFETCH", "0"))
+ctx["traced"] = int(os.environ.get("TRIENUM_BENCH_TRACE", "0") not in ("", "0"))
 with open(path, "w") as f:
     json.dump(doc, f, indent=1)
 missing = [b["name"] for b in doc.get("benchmarks", []) if "wall_ms" not in b]
 if missing:
     sys.exit(f"wall_ms missing for: {missing}")
 PYEOF
+}
+
+found=0
+for bin in "${bench_dir}"/bench_*; do
+  [[ -f "${bin}" && -x "${bin}" ]] || continue
+  found=1
+  name="$(basename "${bin}")"
+  out="${out_dir}/BENCH_${name#bench_}.json"
+  echo "== ${name} -> ${out}"
+  "${bin}" --benchmark_format=json "$@" > "${out}"
+  postprocess "${out}"
 done
 
 if [[ "${found}" -eq 0 ]]; then
   echo "error: no bench_* executables in ${bench_dir}" >&2
   exit 1
 fi
+
+# The observability overhead probe: the session bench again, this time with
+# a TraceCollector installed (spans recording, sampler attributing). CI
+# gates BENCH_session_traced.json against BENCH_session.json at 1.05x —
+# tracing must be nearly free or the always-on seams are mis-placed.
+if [[ -x "${bench_dir}/bench_session" ]]; then
+  out="${out_dir}/BENCH_session_traced.json"
+  echo "== bench_session (traced) -> ${out}"
+  TRIENUM_BENCH_TRACE=1 "${bench_dir}/bench_session" \
+    --benchmark_format=json "$@" > "${out}"
+  postprocess "${out}"
+fi
+
 echo "done. (BENCH_backends.json carries the simulated-vs-real I/O counters;"
-echo " BENCH_hotpath.json the buffered-vs-element-wise wall-clock ratios.)"
+echo " BENCH_hotpath.json the buffered-vs-element-wise wall-clock ratios;"
+echo " BENCH_session_traced.json the tracing-overhead probe.)"

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "em/array.h"
+#include "obs/trace.h"
 
 namespace trienum::core {
 namespace {
@@ -57,6 +58,8 @@ void EnumerateBnl(em::QuerySession& ctx, const graph::EmGraph& g, TriangleSink& 
 
   for (std::size_t c0 = 0; c0 < m; c0 += chunk_items) {
     std::size_t c1 = std::min(m, c0 + chunk_items);
+    obs::Span span("bnl.chunk_join");
+    span.AddArg("chunk_items", c1 - c0);
     em::ScratchLease lease =
         ctx.LeaseScratch((c1 - c0) * 3 + cand_cap * 2);
 

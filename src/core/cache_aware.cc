@@ -10,6 +10,7 @@
 #include "extsort/ext_merge_sort.h"
 #include "extsort/scan_ops.h"
 #include "hashing/kwise.h"
+#include "obs/trace.h"
 
 namespace trienum::core {
 
@@ -31,6 +32,7 @@ void EnumerateCacheAware(em::QuerySession& ctx, const graph::EmGraph& g,
 
   // ---- Step 1: triangles with a high-degree vertex (Lemma 1 each) ----------
   if (opts.high_degree_step) {
+    obs::Span span("ca.high_degree");
     const double threshold = std::sqrt(static_cast<double>(m0) *
                                        static_cast<double>(ctx.memory_words()));
     // Ids are in non-decreasing degree order, so V_h is a suffix.
@@ -83,35 +85,41 @@ void EnumerateCacheAware(em::QuerySession& ctx, const graph::EmGraph& g,
   // algorithm through charge-safe windows instead: run formation inside
   // the ExternalMergeSort below and the Lemma 2 cone probes of step 3
   // (see pivot_enum.h), both invariant in the thread count.
-  em::Array<ColoredEdge> colored = ctx.Alloc<ColoredEdge>(wlen);
-  extsort::Transform(low, colored, [&](const Edge& e) {
-    return ColoredEdge{e.u, e.v, color(e.u), color(e.v)};
-  });
-  extsort::ExternalMergeSort(ctx, colored, graph::ColorClassLess{});
-
-  // Bucket offsets live on the device (c^2 + 1 words, built with one
-  // counting scan and a prefix sum), so no internal-memory assumption beyond
-  // the paper's is needed and their accesses are I/O-accounted.
   const std::size_t num_keys = static_cast<std::size_t>(c) * c;
-  em::Array<std::uint64_t> offsets = ctx.Alloc<std::uint64_t>(num_keys + 1);
-  em::Array<Edge> buckets = ctx.Alloc<Edge>(wlen);
-  for (std::size_t k = 0; k <= num_keys; ++k) offsets.Set(k, 0);
+  em::Array<std::uint64_t> offsets;
+  em::Array<Edge> buckets;
   {
-    em::Scanner<ColoredEdge> in(colored);
-    em::Writer<Edge> out(buckets);
-    while (in.HasNext()) {
-      ColoredEdge e = in.Next();
-      std::size_t key = static_cast<std::size_t>(e.cu) * c + e.cv;
-      offsets.Set(key + 1, offsets.Get(key + 1) + 1);
-      out.Push(Edge{e.u, e.v});
+    obs::Span span("ca.coloring");
+    span.AddArg("colors", c);
+    em::Array<ColoredEdge> colored = ctx.Alloc<ColoredEdge>(wlen);
+    extsort::Transform(low, colored, [&](const Edge& e) {
+      return ColoredEdge{e.u, e.v, color(e.u), color(e.v)};
+    });
+    extsort::ExternalMergeSort(ctx, colored, graph::ColorClassLess{});
+
+    // Bucket offsets live on the device (c^2 + 1 words, built with one
+    // counting scan and a prefix sum), so no internal-memory assumption
+    // beyond the paper's is needed and their accesses are I/O-accounted.
+    offsets = ctx.Alloc<std::uint64_t>(num_keys + 1);
+    buckets = ctx.Alloc<Edge>(wlen);
+    for (std::size_t k = 0; k <= num_keys; ++k) offsets.Set(k, 0);
+    {
+      em::Scanner<ColoredEdge> in(colored);
+      em::Writer<Edge> out(buckets);
+      while (in.HasNext()) {
+        ColoredEdge e = in.Next();
+        std::size_t key = static_cast<std::size_t>(e.cu) * c + e.cv;
+        offsets.Set(key + 1, offsets.Get(key + 1) + 1);
+        out.Push(Edge{e.u, e.v});
+      }
+      out.Flush();  // step 3 reads `buckets` below
     }
-    out.Flush();  // step 3 reads `buckets` below
-  }
-  {
-    std::uint64_t run = 0;
-    for (std::size_t k = 0; k <= num_keys; ++k) {
-      run += offsets.Get(k);
-      offsets.Set(k, run);
+    {
+      std::uint64_t run = 0;
+      for (std::size_t k = 0; k <= num_keys; ++k) {
+        run += offsets.Get(k);
+        offsets.Set(k, run);
+      }
     }
   }
 
@@ -123,6 +131,8 @@ void EnumerateCacheAware(em::QuerySession& ctx, const graph::EmGraph& g,
   };
 
   // ---- Step 3: Lemma 2 per color triple -------------------------------------
+  obs::Span span("ca.color_triples");
+  span.AddArg("colors", c);
   PivotEnumOptions popts;
   popts.chunk_fraction = opts.chunk_fraction;
   for (std::uint32_t t1 = 0; t1 < c; ++t1) {

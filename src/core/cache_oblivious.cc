@@ -10,6 +10,7 @@
 #include "extsort/scan_ops.h"
 #include "extsort/sorter.h"
 #include "hashing/kwise.h"
+#include "obs/trace.h"
 #include "par/thread_pool.h"
 
 namespace trienum::core {
@@ -446,6 +447,11 @@ void EnumerateCacheOblivious(em::QuerySession& ctx, const graph::EmGraph& g,
   while ((std::uint64_t{1} << (2 * max_depth)) < m) ++max_depth;
   if (opts.max_depth_override >= 0) max_depth = opts.max_depth_override;
 
+  // One span for the whole recursion: per-node spans would emit millions of
+  // events (the tree has ~E subproblems), so attribution stays at the root.
+  obs::Span span("co.recurse");
+  span.AddArg("edges", m);
+  span.AddArg("max_depth", static_cast<std::uint64_t>(max_depth));
   CoRunner runner(ctx, sink, opts, max_depth, report);
   runner.Recurse(root, {1, 1, 1}, 0);
 }

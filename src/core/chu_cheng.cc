@@ -8,6 +8,7 @@
 #include "core/vertex_enum.h"
 #include "extsort/scan_ops.h"
 #include "extsort/sorter.h"
+#include "obs/trace.h"
 
 namespace trienum::core {
 namespace {
@@ -29,6 +30,9 @@ class PartitionRunner {
   /// smallest vertex lies in the range.
   void ProcessRange(VertexId lo, VertexId hi) {
     if (lo >= hi) return;
+    obs::Span span("cc.partition");
+    span.AddArg("range_lo", lo);
+    span.AddArg("range_hi", hi);
     if (TryInMemory(lo, hi)) return;
     if (hi - lo > 1) {
       VertexId mid = lo + (hi - lo) / 2;

@@ -3,11 +3,14 @@
 #include <cmath>
 
 #include "extsort/io_bounds.h"
+#include "obs/trace.h"
 
 namespace trienum::core {
 
 void EnumerateDementiev(em::QuerySession& ctx, const graph::EmGraph& g,
                         TriangleSink& sink) {
+  obs::Span span("dementiev.wedge_join");
+  span.AddArg("edges", g.num_edges());
   WedgeJoinEnumerate<graph::Edge>(
       ctx, g.edges, extsort::AwareSorter{},
       [](const graph::Triangle&, std::uint32_t, std::uint32_t, std::uint32_t) {

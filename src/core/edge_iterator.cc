@@ -7,6 +7,7 @@
 
 #include "em/array.h"
 #include "extsort/scan_ops.h"
+#include "obs/trace.h"
 #include "simd/intersect.h"
 
 namespace trienum::core {
@@ -22,7 +23,10 @@ void EnumerateEdgeIterator(em::QuerySession& ctx, const graph::EmGraph& g,
   // CSR: the lex-sorted edge list *is* the concatenated forward-neighbour
   // array; offsets come from one counting scan plus a prefix sum.
   em::Array<std::uint64_t> offsets = ctx.Alloc<std::uint64_t>(nv + 1);
+  em::Array<VertexId> nbr;
   {
+    obs::Span span("ei.csr_build");
+    span.AddArg("edges", m);
     em::Array<std::uint32_t> outdeg = ctx.Alloc<std::uint32_t>(nv);
     {
       em::Writer<std::uint32_t> zero(outdeg);
@@ -37,9 +41,9 @@ void EnumerateEdgeIterator(em::QuerySession& ctx, const graph::EmGraph& g,
       run += outdeg.Get(v);
     }
     offsets.Set(nv, run);
+    nbr = ctx.Alloc<VertexId>(m);
+    extsort::Transform(g.edges, nbr, [](const graph::Edge& e) { return e.v; });
   }
-  em::Array<VertexId> nbr = ctx.Alloc<VertexId>(m);
-  extsort::Transform(g.edges, nbr, [](const graph::Edge& e) { return e.v; });
 
   // For each edge (u, v): intersect N+(u) beyond v with N+(v). Both runs
   // are staged host-side with scan-exact reads and handed to the merge
@@ -48,6 +52,8 @@ void EnumerateEdgeIterator(em::QuerySession& ctx, const graph::EmGraph& g,
   // consumed_a + consumed_b - matches: the consumed-at-exhaustion counts
   // are determined by the data alone, so every kernel variant reproduces
   // the scalar total exactly (tests/test_intersect_kernels.cc).
+  obs::Span span("ei.intersect");
+  span.AddArg("edges", m);
   std::vector<VertexId> run_a, run_b, matches;
   for (VertexId u = 0; u < nv; ++u) {
     std::uint64_t lo = offsets.Get(u), hi = offsets.Get(u + 1);

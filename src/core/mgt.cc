@@ -2,10 +2,14 @@
 
 #include <cmath>
 
+#include "obs/trace.h"
+
 namespace trienum::core {
 
 void EnumerateMgt(em::QuerySession& ctx, const graph::EmGraph& g, TriangleSink& sink,
                   const MgtOptions& opts) {
+  obs::Span span("mgt.pivot_enum");
+  span.AddArg("edges", g.num_edges());
   PivotEnumOptions popts;
   popts.chunk_fraction = opts.chunk_fraction;
   // Lemma 2 with the pivot set equal to the whole edge set: every triangle

@@ -46,6 +46,7 @@
 #include "core/sink.h"
 #include "em/array.h"
 #include "graph/types.h"
+#include "obs/trace.h"
 #include "par/thread_pool.h"
 #include "simd/intersect.h"
 
@@ -497,14 +498,22 @@ void PivotEnumerate(em::QuerySession& ctx, em::Array<EdgeT> cone_a,
     // Internal-memory working set for this chunk: the chunk itself, its
     // adjacency index, the endpoint filters, and the per-v buffers.
     em::ScratchLease lease = ctx.LeaseScratch(csize * (words_per + 6));
-    rc.Load(ctx, pivot, p0, p1);
+    {
+      obs::Span span("pivot.chunk_load");
+      span.AddArg("chunk_items", csize);
+      rc.Load(ctx, pivot, p0, p1);
+    }
 
-    if (pool_active) {
-      internal::ScanConesPooled<EdgeT>(ctx, rc, cone_a, cone_b, same_cone,
-                                       sink);
-    } else {
-      internal::ScanConesSerial<EdgeT>(ctx, rc, cone_a, cone_b, same_cone,
-                                       sink);
+    {
+      obs::Span span("pivot.cone_scan");
+      span.AddArg("chunk_items", csize);
+      if (pool_active) {
+        internal::ScanConesPooled<EdgeT>(ctx, rc, cone_a, cone_b, same_cone,
+                                         sink);
+      } else {
+        internal::ScanConesSerial<EdgeT>(ctx, rc, cone_a, cone_b, same_cone,
+                                         sink);
+      }
     }
   }
 }

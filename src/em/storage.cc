@@ -11,9 +11,36 @@
 #include <unistd.h>
 #endif
 
+#include "obs/metrics.h"
+
 namespace trienum::em {
 
 namespace {
+
+// Real-I/O latency seams. The histograms live in the process-wide registry
+// and are resolved once; observing is a relaxed atomic bump around the
+// actual transfer — never inside the counted charge sequence, which lives
+// a layer up in the cache.
+obs::Histogram& FileReadHist() {
+  static obs::Histogram& h = obs::MetricsRegistry::Global().GetHistogram(
+      obs::metric_names::kFileReadNs);
+  return h;
+}
+obs::Histogram& FileWriteHist() {
+  static obs::Histogram& h = obs::MetricsRegistry::Global().GetHistogram(
+      obs::metric_names::kFileWriteNs);
+  return h;
+}
+obs::Histogram& MmapReadHist() {
+  static obs::Histogram& h = obs::MetricsRegistry::Global().GetHistogram(
+      obs::metric_names::kMmapReadNs);
+  return h;
+}
+obs::Histogram& MmapWriteHist() {
+  static obs::Histogram& h = obs::MetricsRegistry::Global().GetHistogram(
+      obs::metric_names::kMmapWriteNs);
+  return h;
+}
 
 // Shared amortized-doubling capacity policy: both backends must grow
 // identically so allocation behavior never depends on the backend.
@@ -112,6 +139,7 @@ Status FileBackend::EnsureSize(std::size_t words) {
 
 Status FileBackend::ReadWords(Addr addr, std::size_t words, Word* out) {
   TRIENUM_RETURN_NOT_OK(init_status_);
+  obs::LatencyTimer timer(FileReadHist());
   std::size_t nbytes = words * sizeof(Word);
   off_t off = static_cast<off_t>(addr * sizeof(Word));
   char* dst = reinterpret_cast<char*>(out);
@@ -139,6 +167,7 @@ Status FileBackend::ReadWords(Addr addr, std::size_t words, Word* out) {
 
 Status FileBackend::WriteWords(Addr addr, std::size_t words, const Word* in) {
   TRIENUM_RETURN_NOT_OK(init_status_);
+  obs::LatencyTimer timer(FileWriteHist());
   std::size_t nbytes = words * sizeof(Word);
   off_t off = static_cast<off_t>(addr * sizeof(Word));
   const char* src = reinterpret_cast<const char*>(in);
@@ -224,6 +253,7 @@ Status MmapBackend::EnsureSize(std::size_t words) {
 
 Status MmapBackend::ReadWords(Addr addr, std::size_t words, Word* out) {
   TRIENUM_RETURN_NOT_OK(init_status_);
+  obs::LatencyTimer timer(MmapReadHist());
   // Same semantics as MemoryBackend: reads past the current size yield
   // zeros (the staged cache may fetch a whole line whose tail was never
   // allocated). Only used when fault decorators wrap this backend and force
@@ -241,6 +271,7 @@ Status MmapBackend::ReadWords(Addr addr, std::size_t words, Word* out) {
 
 Status MmapBackend::WriteWords(Addr addr, std::size_t words, const Word* in) {
   TRIENUM_RETURN_NOT_OK(EnsureSize(static_cast<std::size_t>(addr) + words));
+  obs::LatencyTimer timer(MmapWriteHist());
   std::memcpy(map_ + addr, in, words * sizeof(Word));
   ++telemetry_.write_calls;
   telemetry_.bytes_written += words * sizeof(Word);

@@ -20,6 +20,8 @@
 #include "extsort/loser_tree.h"
 #include "extsort/run_formation.h"
 #include "extsort/scan_ops.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace trienum::extsort {
 
@@ -45,7 +47,15 @@ void ExternalMergeSort(em::QuerySession& ctx, em::Array<T> data, Less less) {
   em::Array<T> ping = ctx.Alloc<T>(n);
   std::vector<std::pair<std::size_t, std::size_t>> runs;
   runs.reserve((n + run_items - 1) / run_items);
+  // One sequential read + one sequential write of the whole input is the
+  // textbook prediction for a formation or merge pass; the spans carry it
+  // so tools/trace_summary.py can flag phases whose measured share drifts.
+  const std::size_t pass_predicted_ios =
+      2 * ((n * words_per + ctx.block_words() - 1) / ctx.block_words());
   {
+    obs::Span span("sort.run_formation");
+    span.AddArg("items", n);
+    span.AddArg("predicted_ios", pass_predicted_ios);
     // 2x the run — together exactly M, the model's internal-memory budget —
     // covering the load buffer plus run formation's scratch down every
     // path: the direct-scatter ping-pong copy (records <= 24 B), the
@@ -78,6 +88,17 @@ void ExternalMergeSort(em::QuerySession& ctx, em::Array<T> data, Less less) {
   em::Array<T> src = ping;
   // --- Merge passes ---------------------------------------------------------
   while (runs.size() > 1) {
+    obs::Span span("sort.merge_pass");
+    span.AddArg("runs_in", runs.size());
+    span.AddArg("fan", fan);
+    span.AddArg("predicted_ios", pass_predicted_ios);
+    // Merge-pass wall latency: the loser-tree pass is the sort's dominant
+    // real-I/O phase out of core, so its wall distribution is a seam metric
+    // alongside the span.
+    static obs::Histogram& merge_hist =
+        obs::MetricsRegistry::Global().GetHistogram(
+            obs::metric_names::kMergePassNs);
+    obs::LatencyTimer pass_timer(merge_hist);
     std::vector<std::pair<std::size_t, std::size_t>> next_runs;
     em::Writer<T> out(pong);
     // Advise every run head of the pass up front — not just the current

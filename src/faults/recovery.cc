@@ -4,9 +4,20 @@
 #include <cstring>
 #include <thread>
 
+#include "obs/metrics.h"
+
 namespace trienum::faults {
 
 namespace {
+
+// Wall time lost to retry backoff sleeps: invisible to every counted
+// metric (retries are uncounted by design), so the histogram is the only
+// place this latency shows up.
+obs::Histogram& BackoffHist() {
+  static obs::Histogram& h = obs::MetricsRegistry::Global().GetHistogram(
+      obs::metric_names::kRecoveryBackoffNs);
+  return h;
+}
 
 // FNV-1a over the line's words: cheap, order-sensitive, and good enough to
 // catch any single-bit flip (the threat model is torn/corrupt blocks, not an
@@ -34,6 +45,7 @@ Status RecoveringBackend::Retry(const Op& op) {
   Status st = op();
   for (int attempt = 0; !st.ok() && attempt < policy_.max_retries; ++attempt) {
     if (policy_.backoff_ms > 0) {
+      obs::LatencyTimer timer(BackoffHist());
       std::this_thread::sleep_for(
           std::chrono::milliseconds(policy_.backoff_ms) * (1 << attempt));
     }

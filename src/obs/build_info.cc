@@ -1,0 +1,38 @@
+#include "obs/build_info.h"
+
+namespace trienum::obs {
+
+#ifndef TRIENUM_BUILD_COMPILER
+#ifdef __VERSION__
+#define TRIENUM_BUILD_COMPILER __VERSION__
+#else
+#define TRIENUM_BUILD_COMPILER "unknown"
+#endif
+#endif
+
+#ifndef TRIENUM_BUILD_FLAGS
+#define TRIENUM_BUILD_FLAGS ""
+#endif
+
+#ifndef TRIENUM_BUILD_TYPE
+#define TRIENUM_BUILD_TYPE ""
+#endif
+
+#ifndef TRIENUM_BUILD_NATIVE
+#define TRIENUM_BUILD_NATIVE 0
+#endif
+
+const BuildInfo& GetBuildInfo() {
+  static const BuildInfo* info = [] {
+    auto* b = new BuildInfo;
+    b->compiler = TRIENUM_BUILD_COMPILER;
+    b->flags = TRIENUM_BUILD_FLAGS;
+    b->build_type = TRIENUM_BUILD_TYPE;
+    b->native = TRIENUM_BUILD_NATIVE != 0;
+    b->cplusplus = __cplusplus;
+    return b;
+  }();
+  return *info;
+}
+
+}  // namespace trienum::obs

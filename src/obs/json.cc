@@ -1,0 +1,122 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace trienum::obs {
+
+void JsonEscape(std::ostream& os, std::string_view s) {
+  os.put('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os << buf;
+        } else {
+          os.put(c);
+        }
+    }
+  }
+  os.put('"');
+}
+
+void JsonWriter::BeforeElement() {
+  if (after_key_) {
+    after_key_ = false;
+    return;  // the key already emitted its ':'
+  }
+  if (!first_.empty()) {
+    if (first_.back()) {
+      first_.back() = 0;
+    } else {
+      os_.put(',');
+    }
+  }
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeElement();
+  os_.put('{');
+  first_.push_back(1);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  os_.put('}');
+  first_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeElement();
+  os_.put('[');
+  first_.push_back(1);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  os_.put(']');
+  first_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view k) {
+  BeforeElement();
+  JsonEscape(os_, k);
+  os_.put(':');
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(std::string_view v) {
+  BeforeElement();
+  JsonEscape(os_, v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(std::uint64_t v) {
+  BeforeElement();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(std::int64_t v) {
+  BeforeElement();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(double v) {
+  BeforeElement();
+  if (!std::isfinite(v)) v = 0.0;  // JSON has no NaN/inf
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os_ << buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(bool v) {
+  BeforeElement();
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+}  // namespace trienum::obs

@@ -1,0 +1,64 @@
+// Minimal JSON emission for the observability outputs (--trace Chrome
+// trace-event files, --metrics-json reports, --report=json).
+//
+// Emission only — the repo never needs to *parse* JSON in production code
+// (the round-trip validation lives in the tests and CI's python step). The
+// writer is a thin comma/nesting bookkeeper over an ostream: callers state
+// structure (BeginObject/Key/Value/EndObject) and the writer guarantees the
+// output is syntactically valid JSON, including string escaping and finite
+// number formatting (NaN/inf are clamped to 0, which JSON cannot represent).
+#ifndef TRIENUM_OBS_JSON_H_
+#define TRIENUM_OBS_JSON_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+namespace trienum::obs {
+
+/// Writes `s` to `os` as a quoted JSON string with the mandatory escapes
+/// (quote, backslash, control characters).
+void JsonEscape(std::ostream& os, std::string_view s);
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Object key; must be followed by exactly one Value/Begin* call.
+  JsonWriter& Key(std::string_view k);
+
+  JsonWriter& Value(std::string_view v);
+  JsonWriter& Value(const char* v) { return Value(std::string_view(v)); }
+  JsonWriter& Value(std::uint64_t v);
+  JsonWriter& Value(std::int64_t v);
+  JsonWriter& Value(int v) { return Value(static_cast<std::int64_t>(v)); }
+  JsonWriter& Value(unsigned v) { return Value(static_cast<std::uint64_t>(v)); }
+  JsonWriter& Value(double v);
+  JsonWriter& Value(bool v);
+
+  /// Key + value in one call, for the common flat-object case.
+  template <typename T>
+  JsonWriter& KV(std::string_view k, T v) {
+    Key(k);
+    return Value(v);
+  }
+
+ private:
+  void BeforeElement();  // comma management for the enclosing container
+
+  std::ostream& os_;
+  std::vector<char> first_;  // one flag per open container
+  bool after_key_ = false;
+};
+
+}  // namespace trienum::obs
+
+#endif  // TRIENUM_OBS_JSON_H_

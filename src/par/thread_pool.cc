@@ -1,5 +1,9 @@
 #include "par/thread_pool.h"
 
+#include <string>
+
+#include "obs/trace.h"
+
 namespace trienum::par {
 namespace {
 
@@ -39,7 +43,13 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::EnsureWorkers(std::size_t want) {
   std::lock_guard<std::mutex> lk(mu_);
   while (workers_.size() < want) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    const std::size_t id = workers_.size();
+    workers_.emplace_back([this, id] {
+      // Named tracks in --trace output: pool helpers show as their own
+      // tids, so fan-out width and load balance are visible in the viewer.
+      obs::SetCurrentThreadName("par-worker-" + std::to_string(id));
+      WorkerLoop();
+    });
   }
 }
 
@@ -60,6 +70,11 @@ void ThreadPool::WorkerLoop() {
       const std::function<void(std::size_t)>* task = task_;
       lk.unlock();
       {
+        // Wall-only span (workers never sample counters): one box per
+        // claimed part on the worker's own track. The caller-inline path in
+        // Run() is NOT instrumented — at threads=1 every part runs there,
+        // and a per-part event flood would drown the phase spans.
+        obs::Span span("par.task");
         RegionScope region;
         (*task)(idx);
       }

@@ -1,6 +1,10 @@
 #include "prefetch/prefetch.h"
 
 #include <cstring>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace trienum::prefetch {
 
@@ -10,6 +14,15 @@ namespace {
 // re-advising released regions) is capped rather than queued unboundedly —
 // dropping advice is always safe, it only forgoes overlap.
 constexpr std::size_t kMaxRanges = 64;
+
+// Wall time the demand path burns waiting on a slot still in flight: the
+// partial-overlap cost PrefetchStats::stalls counts, now with a latency
+// distribution behind it.
+obs::Histogram& StallHist() {
+  static obs::Histogram& h = obs::MetricsRegistry::Global().GetHistogram(
+      obs::metric_names::kPrefetchStallNs);
+  return h;
+}
 
 }  // namespace
 
@@ -23,7 +36,12 @@ PrefetchPool::PrefetchPool(em::StorageBackend* backend,
   TRIENUM_CHECK_MSG(threads > 0, "PrefetchPool needs at least one worker");
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] {
+      // Named tracks in --trace output: staged reads show up on their own
+      // tid, making I/O-vs-compute overlap visible in chrome://tracing.
+      obs::SetCurrentThreadName("prefetch-io-" + std::to_string(i));
+      WorkerLoop();
+    });
   }
 }
 
@@ -85,6 +103,7 @@ void PrefetchPool::WorkerLoop() {
       // All backend I/O serializes here — the decorated stack below is not
       // thread-safe. The overlap win is this read running while the main
       // thread computes, not parallel device traffic.
+      TRIENUM_SPAN("prefetch.read");
       std::lock_guard<std::mutex> io(io_mu_);
       st = backend_->ReadWords(static_cast<em::Addr>(line) * block_words_,
                                block_words_, buf.data());
@@ -125,6 +144,7 @@ bool PrefetchPool::Consume(em::Addr line_base, std::size_t words,
     // stall — the overlap was only partial — but still cheaper than
     // re-issuing the read after the worker finishes it anyway.
     ++stats_.stalls;
+    obs::LatencyTimer stall_timer(StallHist());
     slot->ready_cv.wait(lk, [&] {
       return slot->state != Slot::State::kPending || slot->cancelled;
     });

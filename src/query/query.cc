@@ -7,11 +7,23 @@
 
 #include "core/algorithms.h"
 #include "core/sink.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "par/par_config.h"
 
 namespace trienum::query {
 
 namespace {
+
+/// Clears the collector's sampler on every exit path: the sampler captures
+/// the session by reference, so it must never outlive the RunQuery call
+/// that installed it.
+struct SamplerGuard {
+  obs::TraceCollector* tc;
+  ~SamplerGuard() {
+    if (tc != nullptr) tc->clear_sampler();
+  }
+};
 
 /// Per-vertex accumulator: every emitted triangle increments its three
 /// corners. Order-invariant, so identical for every algorithm.
@@ -106,9 +118,39 @@ Result<QueryResult> RunQuery(em::QuerySession& session,
   em::StorageTelemetry tel_before = session.store().telemetry_snapshot();
   em::RecoveryStats rec_before = session.store().recovery_snapshot();
   em::PrefetchStats pf_before = session.store().prefetch_stats();
+
+  // Tracing, when a collector is installed: the sampler lets spans opened
+  // on this thread attribute counter deltas to phases. Installed *after*
+  // the cold-start reset and cleared before this function returns; the
+  // root "query.run" span below opens at zeroed counters and closes before
+  // the result snapshot, so its inclusive delta — and therefore the sum of
+  // all phases' exclusive deltas — equals the query's totals exactly.
+  obs::TraceCollector* tc = obs::CurrentTraceCollector();
+  const std::size_t ev_mark = tc != nullptr ? tc->event_count() : 0;
+  obs::MetricsRegistry::Snapshot hist_before;
+  SamplerGuard sampler_guard{tc};
+  if (tc != nullptr) {
+    hist_before = obs::MetricsRegistry::Global().Snap();
+    tc->set_sampler([&session]() {
+      obs::CounterSample s;
+      const em::IoStats io = session.cache().stats();
+      s.block_reads = io.block_reads;
+      s.block_writes = io.block_writes;
+      s.cache_hits = io.cache_hits;
+      s.work = session.work();
+      const em::StorageTelemetry t = session.store().telemetry_snapshot();
+      s.read_calls = t.read_calls;
+      s.write_calls = t.write_calls;
+      s.bytes_read = t.bytes_read;
+      s.bytes_written = t.bytes_written;
+      return s;
+    });
+  }
+
   auto t0 = std::chrono::steady_clock::now();
   Status run_status;
   try {
+    obs::Span root_span("query.run");
     info->run(session, g, *sink);
     session.cache().FlushAll();
   } catch (const IoFault& fault) {
@@ -144,6 +186,46 @@ Result<QueryResult> RunQuery(em::QuerySession& session,
   r.seed_used = session.seed();
   r.threads_used = par::Threads();
 
+  if (tc != nullptr) {
+    // Phase table: aggregate the run's sampled spans by name, first
+    // appearance first. Exclusive deltas telescope, so the table's columns
+    // sum to r.io / r.work with "query.run" holding the unattributed rest.
+    for (const obs::TraceEvent& ev : tc->events_since(ev_mark)) {
+      if (!ev.has_delta) continue;
+      PhaseStat* ps = nullptr;
+      for (PhaseStat& p : r.phases) {
+        if (p.name == ev.name) {
+          ps = &p;
+          break;
+        }
+      }
+      if (ps == nullptr) {
+        r.phases.emplace_back();
+        ps = &r.phases.back();
+        ps->name = ev.name;
+      }
+      ++ps->spans;
+      ps->self_wall_ns += ev.self_wall_ns;
+      ps->self += ev.self;
+    }
+    // This query's window of the seam histograms. The registry is
+    // append-only, so every pre-existing instrument has a before entry;
+    // ones born during the run diff against zero.
+    const obs::MetricsRegistry::Snapshot hist_after =
+        obs::MetricsRegistry::Global().Snap();
+    for (const obs::HistogramSnapshot& after : hist_after.histograms) {
+      const obs::HistogramSnapshot* before = nullptr;
+      for (const obs::HistogramSnapshot& b : hist_before.histograms) {
+        if (b.name == after.name) {
+          before = &b;
+          break;
+        }
+      }
+      obs::HistogramSnapshot delta = before != nullptr ? after - *before : after;
+      if (delta.count != 0) r.histogram_deltas.push_back(std::move(delta));
+    }
+  }
+
   switch (q.kind) {
     case QueryKind::kCount:
       r.triangles = count_sink.count();
@@ -178,6 +260,10 @@ Result<LoadedGraph> LoadedGraph::FromEdges(const em::EmConfig& cfg,
   // the whole load fails.
   lg.store_->cache().set_counting(false);
   try {
+    // Wall-only span (no sampler installed yet): load/normalize time still
+    // shows on the trace timeline, but is never attributed to any query.
+    obs::Span span("graph.load");
+    span.AddArg("raw_edges", raw.size());
     lg.graph_ = graph::BuildEmGraph(*lg.session_, raw);
   } catch (const IoFault& fault) {
     return fault.status();

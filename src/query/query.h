@@ -35,6 +35,8 @@
 #include "em/context.h"
 #include "graph/normalize.h"
 #include "graph/types.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace trienum::query {
 
@@ -72,6 +74,18 @@ struct EdgeSupport {
   std::uint64_t count = 0;
 };
 
+/// Aggregated exclusive (self) attribution of one phase-span name over a
+/// query: every sampled span with this name, summed. Because self deltas
+/// telescope (see obs/trace.h), the per-phase columns sum exactly to the
+/// query's totals — block_reads, block_writes, cache_hits, work — with the
+/// root "query.run" phase carrying whatever no named phase claimed.
+struct PhaseStat {
+  std::string name;
+  std::uint64_t spans = 0;         ///< sampled spans aggregated under `name`
+  std::uint64_t self_wall_ns = 0;  ///< wall time minus sampled children
+  obs::CounterSample self;         ///< exclusive counter deltas
+};
+
 /// \brief Everything one query produced, measured under its own cold cache.
 struct QueryResult {
   std::uint64_t triangles = 0;
@@ -102,6 +116,14 @@ struct QueryResult {
   double wall_ms = 0;
   std::uint64_t seed_used = 0;
   std::size_t threads_used = 0;
+  /// Per-phase attribution table, first-appearance order. Populated only
+  /// when a TraceCollector was installed for the run (empty otherwise —
+  /// the untraced path stays allocation-free here).
+  std::vector<PhaseStat> phases;
+  /// This query's window of the always-on seam histograms (registry
+  /// snapshot after minus before, zero-count entries dropped). Populated
+  /// only when a TraceCollector was installed, like `phases`.
+  std::vector<obs::HistogramSnapshot> histogram_deltas;
 };
 
 /// \brief Runs one query over a normalized graph inside `session`.

@@ -15,6 +15,14 @@ std::atomic<std::uint64_t>& VariantCounter(KernelVariant v) {
 
 }  // namespace internal
 
+bool Avx2Compiled() {
+#if defined(__AVX2__)
+  return true;
+#else
+  return false;
+#endif
+}
+
 bool Avx2Available() {
 #if defined(__AVX2__)
   // Compiled with AVX2 enabled (TRIENUM_NATIVE): still gate on the CPU so a

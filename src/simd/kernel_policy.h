@@ -47,6 +47,11 @@ std::atomic<std::uint64_t>& VariantCounter(KernelVariant v);
 /// reports AVX2 at runtime.
 bool Avx2Available();
 
+/// True iff the AVX2 kernels are compiled into this binary at all —
+/// build-provenance (surfaced by `trienum version`), independent of what
+/// the running CPU supports.
+bool Avx2Compiled();
+
 /// Current requested mode (default kAuto).
 inline KernelMode Mode() {
   return static_cast<KernelMode>(

@@ -416,6 +416,132 @@ TEST(CliQuery, PerVertexAndPerEdgeKindsWork) {
   EXPECT_EQ(ReportValue(out, "triangles"), "1");
 }
 
+// ---------------------------------------------------------------------------
+// Observability surface: version, --report=json, --trace, --metrics-json.
+
+// Minimal structural JSON validation: balanced braces/brackets outside
+// strings, and the document starts/ends as one object. The obs unit tests
+// and the CI smoke step run real parsers; this keeps the smoke test
+// dependency-free.
+void ExpectBalancedJsonObject(const std::string& doc) {
+  ASSERT_FALSE(doc.empty());
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (char ch : doc) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (in_string) {
+      if (ch == '\\') escaped = true;
+      if (ch == '"') in_string = false;
+      continue;
+    }
+    if (ch == '"') in_string = true;
+    if (ch == '{' || ch == '[') ++depth;
+    if (ch == '}' || ch == ']') {
+      --depth;
+      EXPECT_GE(depth, 0);
+    }
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+  std::size_t first = doc.find_first_not_of(" \t\r\n");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(doc[first], '{');
+}
+
+// Reads a whole file; fails the test if it does not exist.
+std::string Slurp(const std::string& path) {
+  FILE* f = fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  if (f == nullptr) return "";
+  std::string out;
+  std::array<char, 4096> buf;
+  std::size_t n;
+  while ((n = fread(buf.data(), 1, buf.size(), f)) > 0) out.append(buf.data(), n);
+  fclose(f);
+  return out;
+}
+
+TEST(CliObs, VersionReportsBuildProvenance) {
+  std::string out = RunCli("version");
+  EXPECT_FALSE(ReportValue(out, "compiler").empty());
+  EXPECT_FALSE(ReportValue(out, "build_type").empty());
+  EXPECT_NE(out.find("kernels_compiled = "), std::string::npos) << out;
+
+  std::string json = RunCli("version --report=json");
+  ExpectBalancedJsonObject(json);
+  EXPECT_NE(json.find("\"build_info\""), std::string::npos);
+  EXPECT_NE(json.find("\"kernels_active\""), std::string::npos);
+}
+
+TEST(CliObs, ReportJsonCarriesTheSameNumbersAsText) {
+  const std::string common =
+      "count --algo=mgt --graph=rmat:scale=8,m=2000,seed=11"
+      " --memory=2048 --block=32 --seed=7";
+  std::string text = RunCli(common);
+  std::string json = RunCli(common + " --report=json");
+  ExpectBalancedJsonObject(json);
+  // The JSON document carries the same triangle count and I/O totals.
+  EXPECT_NE(json.find("\"triangles\":" + ReportValue(text, "triangles")),
+            std::string::npos) << json;
+  EXPECT_NE(json.find("\"block_reads\":" + ReportValue(text, "block_reads")),
+            std::string::npos) << json;
+  EXPECT_NE(json.find("\"command\":\"count\""), std::string::npos);
+}
+
+TEST(CliObs, TraceAndMetricsFilesAreWrittenAndLeaveResultsUnchanged) {
+  char dir_tmpl[] = "/tmp/trienum-test-obs-XXXXXX";
+  ASSERT_NE(mkdtemp(dir_tmpl), nullptr);
+  const std::string dir = dir_tmpl;
+  const std::string trace_path = dir + "/t.json";
+  const std::string metrics_path = dir + "/m.json";
+  const std::string common =
+      "count --algo=mgt --backend=file --graph=rmat:scale=8,m=2000,seed=11"
+      " --memory=2048 --block=32 --seed=7";
+
+  std::string plain = RunCli(common);
+  std::string traced = RunCli(common + " --trace=" + trace_path +
+                              " --metrics-json=" + metrics_path);
+  // Tracing is bit-invisible to the report.
+  for (const char* key : {"triangles", "block_reads", "block_writes",
+                          "block_ios", "internal_work"}) {
+    EXPECT_EQ(ReportValue(traced, key), ReportValue(plain, key)) << key;
+  }
+  // The traced report additionally carries the phase table.
+  EXPECT_EQ(plain.find("phase "), std::string::npos);
+  EXPECT_NE(traced.find("phase pivot.cone_scan"), std::string::npos) << traced;
+
+  std::string trace_doc = Slurp(trace_path);
+  ExpectBalancedJsonObject(trace_doc);
+  EXPECT_NE(trace_doc.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace_doc.find("\"graph.load\""), std::string::npos);
+  EXPECT_NE(trace_doc.find("\"query.run\""), std::string::npos);
+
+  std::string metrics_doc = Slurp(metrics_path);
+  ExpectBalancedJsonObject(metrics_doc);
+  EXPECT_NE(metrics_doc.find("\"build_info\""), std::string::npos);
+  EXPECT_NE(metrics_doc.find("\"phases\""), std::string::npos);
+  EXPECT_NE(metrics_doc.find("storage.file.read_syscall_ns"),
+            std::string::npos) << "file-backend syscall histogram missing";
+
+  unlink(trace_path.c_str());
+  unlink(metrics_path.c_str());
+  rmdir(dir.c_str());
+}
+
+TEST(CliObs, ReportJsonRejectedInQueryModeAndReferenceRejectsTrace) {
+  TempScript script("count --algo=mgt\n");
+  RunCli("query --graph=clique:k=5 --script=" + script.path + " --report=json",
+         /*expected_status=*/2);
+  RunCli("count --algo=reference --graph=clique:k=5 --trace=/tmp/nope.json",
+         /*expected_status=*/2);
+  RunCli("count --algo=mgt --graph=clique:k=5 --report=yaml",
+         /*expected_status=*/2);
+}
+
 TEST(CliQuery, MissingScriptFails) {
   RunCli("query --graph=clique:k=5", /*expected_status=*/2);
   RunCli("query --graph=clique:k=5 --script=/nonexistent-trienum-script",

@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Rolls a trienum Chrome trace (--trace=FILE) up into a per-phase table.
+
+For every span name the summary reports how many spans ran, their total
+inclusive wall time, and the exclusive (self) counter deltas the sampler
+attributed to them — block I/Os, cache hits, internal work, and real
+syscall counts. Phases that carried a `predicted_ios` argument (the
+external-sort spans) additionally get a prediction check: the phase's
+measured share of all predicted-bearing I/O is compared against its
+predicted share, and any phase whose shares disagree by more than 2x in
+either direction is flagged. That catches an EM cost model drifting from
+what the storage layer actually did — e.g. a merge pass re-reading runs
+it should have streamed once.
+
+Usage:
+    tools/trace_summary.py t.json
+    tools/trace_summary.py --top 10 t.json
+
+Exits 0 even when phases are flagged (it is a reporting tool, not a
+gate); exits 2 only when the input is not a readable Chrome trace.
+"""
+
+import argparse
+import json
+import sys
+
+# Per-phase exclusive counters the collector writes into span args.
+DELTA_KEYS = (
+    "block_reads",
+    "block_writes",
+    "cache_hits",
+    "work",
+    "read_calls",
+    "write_calls",
+)
+
+# Measured-vs-predicted disagreement beyond this factor gets flagged.
+FLAG_RATIO = 2.0
+
+
+def load_events(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"trace_summary: cannot read trace '{path}': {e}")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        sys.exit(f"trace_summary: '{path}' has no traceEvents array")
+    return events
+
+
+def summarize(events):
+    """Aggregates complete ('X') events by span name, insertion order."""
+    phases = {}
+    for ev in events:
+        if ev.get("ph") != "X":
+            continue
+        name = ev.get("name", "?")
+        p = phases.setdefault(
+            name,
+            {
+                "spans": 0,
+                "wall_us": 0.0,
+                "self_wall_us": 0.0,
+                "predicted_ios": 0,
+                **{k: 0 for k in DELTA_KEYS},
+            },
+        )
+        p["spans"] += 1
+        p["wall_us"] += float(ev.get("dur", 0))
+        args = ev.get("args", {})
+        p["self_wall_us"] += float(args.get("self_wall_ns", 0)) / 1000.0
+        p["predicted_ios"] += int(args.get("predicted_ios", 0))
+        for k in DELTA_KEYS:
+            p[k] += int(args.get(k, 0))
+    return phases
+
+
+def prediction_flags(phases):
+    """Compares measured vs predicted I/O shares among phases that carry
+    predictions. Shares (not absolutes) because predictions count logical
+    block transfers while the cache may absorb re-reads."""
+    predicted = {
+        n: p for n, p in phases.items() if p["predicted_ios"] > 0
+    }
+    total_pred = sum(p["predicted_ios"] for p in predicted.values())
+    total_meas = sum(
+        p["block_reads"] + p["block_writes"] for p in predicted.values()
+    )
+    flags = []
+    if total_pred == 0 or total_meas == 0:
+        return flags
+    for name, p in predicted.items():
+        pred_share = p["predicted_ios"] / total_pred
+        meas_share = (p["block_reads"] + p["block_writes"]) / total_meas
+        if pred_share == 0 and meas_share == 0:
+            continue
+        # Ratio of the larger share to the smaller; a phase with measured
+        # I/O but zero prediction (or vice versa) is infinitely wrong.
+        if pred_share == 0 or meas_share == 0:
+            ratio = float("inf")
+        else:
+            ratio = max(pred_share / meas_share, meas_share / pred_share)
+        if ratio > FLAG_RATIO:
+            flags.append((name, pred_share, meas_share, ratio))
+    return flags
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Per-phase rollup of a trienum --trace file."
+    )
+    ap.add_argument("trace", help="Chrome trace JSON written by --trace=FILE")
+    ap.add_argument(
+        "--top",
+        type=int,
+        default=0,
+        help="show only the N phases with the most inclusive wall time",
+    )
+    opts = ap.parse_args()
+
+    phases = summarize(load_events(opts.trace))
+    if not phases:
+        sys.exit(f"trace_summary: '{opts.trace}' contains no complete spans")
+
+    rows = sorted(phases.items(), key=lambda kv: -kv[1]["wall_us"])
+    if opts.top > 0:
+        rows = rows[: opts.top]
+
+    header = (
+        f"{'phase':<24} {'spans':>6} {'wall_ms':>9} {'self_ms':>9} "
+        f"{'br':>8} {'bw':>8} {'hits':>10} {'work':>12} {'rd':>6} {'wr':>6}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name, p in rows:
+        print(
+            f"{name:<24} {p['spans']:>6} {p['wall_us'] / 1000:>9.2f} "
+            f"{p['self_wall_us'] / 1000:>9.2f} {p['block_reads']:>8} "
+            f"{p['block_writes']:>8} {p['cache_hits']:>10} {p['work']:>12} "
+            f"{p['read_calls']:>6} {p['write_calls']:>6}"
+        )
+
+    total_br = sum(p["block_reads"] for p in phases.values())
+    total_bw = sum(p["block_writes"] for p in phases.values())
+    print(f"\ntotal attributed I/O: {total_br} reads, {total_bw} writes")
+
+    flags = prediction_flags(phases)
+    if flags:
+        print("\nprediction check (measured vs predicted I/O share, >2x off):")
+        for name, pred, meas, ratio in flags:
+            r = "inf" if ratio == float("inf") else f"{ratio:.1f}x"
+            print(
+                f"  FLAG {name}: predicted {pred:.1%} of sort I/O, "
+                f"measured {meas:.1%} ({r} disagreement)"
+            )
+    elif any(p["predicted_ios"] > 0 for p in phases.values()):
+        print("\nprediction check: all predicted-I/O phases within 2x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

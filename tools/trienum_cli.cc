@@ -20,7 +20,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <iostream>
 #include <limits>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -35,6 +38,10 @@
 #include "graph/generators.h"
 #include "graph/graph_io.h"
 #include "graph/normalize.h"
+#include "obs/build_info.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "par/par_config.h"
 #include "query/query.h"
 #include "simd/kernel_policy.h"
@@ -52,6 +59,8 @@ constexpr char kUsage[] =
     "  enumerate                 like count, but also print the triangles\n"
     "  query                     load the graph once, answer a script of\n"
     "                            queries (--script=<file>), one report each\n"
+    "  version                   build provenance: compiler, flags, compiled\n"
+    "                            and active kernel variants\n"
     "  help                      show this message with the generator table\n"
     "\n"
     "query scripts (one query per line; '#' starts a comment):\n"
@@ -105,6 +114,16 @@ constexpr char kUsage[] =
     "                            --verify-checksums stack) can stage lines\n"
     "  --prefetch-threads=<N>    I/O worker threads for --prefetch (default 1;\n"
     "                            must be positive when prefetch is on)\n"
+    "  --trace=<file>            write a Chrome trace-event JSON timeline\n"
+    "                            (chrome://tracing, Perfetto): phase spans\n"
+    "                            with per-phase I/O deltas, worker threads as\n"
+    "                            their own tracks. Tracing never changes\n"
+    "                            triangles, emission order, or block I/Os\n"
+    "  --metrics-json=<file>     write the full structured report as JSON:\n"
+    "                            build info, per-query measurements, phase\n"
+    "                            attribution, and I/O latency histograms\n"
+    "  --report=<text|json>      stdout report format for count/enumerate\n"
+    "                            (default text)\n"
     "\n"
     "graph generators (`<name>:k1=v1,k2=v2,...`):\n"
     "  gnm:n=1024,m=4096,seed=1          Erdos-Renyi G(n, m)\n"
@@ -147,7 +166,10 @@ struct Options {
   bool verify_checksums = false;
   std::size_t prefetch_depth = 0;
   std::size_t prefetch_threads = 1;
-  std::string script;  // `trienum query` only
+  std::string script;       // `trienum query` only
+  std::string trace_file;   // --trace=<file>: Chrome trace-event JSON
+  std::string metrics_json; // --metrics-json=<file>: structured report
+  bool report_json = false; // --report=json (count / enumerate only)
 };
 
 std::uint64_t ParseU64(const std::string& key, const std::string& value) {
@@ -241,6 +263,18 @@ Options ParseOptions(int argc, char** argv, bool query_mode = false) {
       } else {
         Die("--verify-checksums takes 0 or 1, got '" + value + "'");
       }
+    } else if (key == "trace") {
+      opt.trace_file = value;
+    } else if (key == "metrics-json") {
+      opt.metrics_json = value;
+    } else if (key == "report") {
+      if (value == "json") {
+        opt.report_json = true;
+      } else if (value == "text") {
+        opt.report_json = false;
+      } else {
+        Die("--report takes 'text' or 'json', got '" + value + "'");
+      }
     } else if (query_mode && key == "script") {
       opt.script = value;
     } else {
@@ -257,6 +291,10 @@ Options ParseOptions(int argc, char** argv, bool query_mode = false) {
   if (opt.prefetch_depth > 0 && opt.prefetch_threads == 0) {
     Die("--prefetch-threads must be positive when --prefetch is on "
         "(run `trienum help` for the option table)");
+  }
+  if (query_mode && opt.report_json) {
+    Die("--report=json applies to count/enumerate only; `trienum query` "
+        "keeps the text stream (use --metrics-json for machine output)");
   }
   if (!opt.temp_dir.empty()) {
     // Validate here so an obviously bad path dies with a usage error up
@@ -501,6 +539,203 @@ void PrintMeasurements(const query::QueryResult& r, std::size_t num_edges,
               static_cast<unsigned long long>(r.prefetch.wasted));
   std::printf("prefetch_stalls = %llu\n",
               static_cast<unsigned long long>(r.prefetch.stalls));
+  // Per-phase attribution (traced runs only): exclusive deltas, so the
+  // block_reads/block_writes/work columns sum to the totals above.
+  for (const query::PhaseStat& p : r.phases) {
+    std::printf(
+        "phase %s spans=%llu wall_ms=%.2f block_reads=%llu block_writes=%llu "
+        "work=%llu\n",
+        p.name.c_str(), static_cast<unsigned long long>(p.spans),
+        static_cast<double>(p.self_wall_ns) / 1e6,
+        static_cast<unsigned long long>(p.self.block_reads),
+        static_cast<unsigned long long>(p.self.block_writes),
+        static_cast<unsigned long long>(p.self.work));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// JSON surfacing: --report=json, --metrics-json, `trienum version`.
+
+/// The compiled-in kernel variants (scalar and SWAR are unconditional; AVX2
+/// only under __AVX2__ builds) and runtime facts, composed from simd/ —
+/// obs/build_info cannot see the kernel layer.
+void WriteKernelInfoJson(obs::JsonWriter& w) {
+  w.Key("kernels_compiled").BeginArray();
+  w.Value("scalar").Value("swar");
+  if (simd::Avx2Compiled()) w.Value("avx2");
+  w.EndArray();
+  w.KV("avx2_runtime", simd::Avx2Available());
+  w.KV("kernels_active", simd::KernelVariantName(simd::ActiveVariant()));
+}
+
+void WriteBuildInfoJson(obs::JsonWriter& w) {
+  const obs::BuildInfo& b = obs::GetBuildInfo();
+  w.Key("build_info").BeginObject();
+  w.KV("compiler", b.compiler);
+  w.KV("flags", b.flags);
+  w.KV("build_type", b.build_type);
+  w.KV("native", b.native);
+  w.KV("cplusplus", static_cast<std::int64_t>(b.cplusplus));
+  WriteKernelInfoJson(w);
+  w.EndObject();
+}
+
+/// The measurement block of one query as JSON keys on the currently open
+/// object — the same facts PrintMeasurements reports as `key = value`.
+void WriteResultJson(obs::JsonWriter& w, const query::QueryResult& r,
+                     std::size_t num_edges, std::size_t memory_words,
+                     std::size_t block_words) {
+  const double bound =
+      core::PaghSilvestriIoBound(num_edges, memory_words, block_words);
+  const double lower = core::IoLowerBound(r.triangles, memory_words, block_words);
+  w.KV("threads", static_cast<std::uint64_t>(r.threads_used));
+  w.KV("kernels", simd::KernelVariantName(simd::ActiveVariant()));
+  w.KV("seed", r.seed_used);
+  w.KV("triangles", r.triangles);
+  w.Key("io").BeginObject();
+  w.KV("block_reads", r.io.block_reads);
+  w.KV("block_writes", r.io.block_writes);
+  w.KV("block_ios", r.io.total_ios());
+  w.KV("cache_hits", r.io.cache_hits);
+  w.EndObject();
+  w.KV("wall_ms", r.wall_ms);
+  w.Key("storage").BeginObject();
+  w.KV("read_calls", r.telemetry.read_calls);
+  w.KV("write_calls", r.telemetry.write_calls);
+  w.KV("bytes_read", r.telemetry.bytes_read);
+  w.KV("bytes_written", r.telemetry.bytes_written);
+  w.EndObject();
+  w.KV("device_peak_words", static_cast<std::uint64_t>(r.device_peak_words));
+  w.KV("internal_work", r.work);
+  w.KV("predicted_bound", bound);
+  w.KV("measured_over_bound",
+       bound > 0 ? static_cast<double>(r.io.total_ios()) / bound : 0.0);
+  w.KV("lower_bound", lower);
+  w.Key("recovery").BeginObject();
+  w.KV("retries", r.recovery.retries);
+  w.KV("faults_injected", r.recovery.faults_injected);
+  w.KV("checksum_failures", r.recovery.checksum_failures);
+  w.EndObject();
+  w.Key("prefetch").BeginObject();
+  w.KV("issued", r.prefetch.issued);
+  w.KV("useful", r.prefetch.useful);
+  w.KV("wasted", r.prefetch.wasted);
+  w.KV("stalls", r.prefetch.stalls);
+  w.EndObject();
+  w.Key("phases").BeginArray();
+  for (const query::PhaseStat& p : r.phases) {
+    w.BeginObject();
+    w.KV("name", p.name);
+    w.KV("spans", p.spans);
+    w.KV("self_wall_ns", p.self_wall_ns);
+    w.KV("block_reads", p.self.block_reads);
+    w.KV("block_writes", p.self.block_writes);
+    w.KV("cache_hits", p.self.cache_hits);
+    w.KV("work", p.self.work);
+    w.KV("read_calls", p.self.read_calls);
+    w.KV("write_calls", p.self.write_calls);
+    w.KV("bytes_read", p.self.bytes_read);
+    w.KV("bytes_written", p.self.bytes_written);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("histograms").BeginArray();
+  for (const obs::HistogramSnapshot& h : r.histogram_deltas) {
+    w.BeginObject();
+    w.KV("name", h.name);
+    w.KV("count", h.count);
+    w.KV("sum", h.sum);
+    w.KV("max", h.max);
+    w.Key("buckets").BeginArray();
+    for (int i = 0; i < obs::kHistogramBuckets; ++i) {
+      if (h.buckets[static_cast<std::size_t>(i)] == 0) continue;
+      w.BeginObject();
+      w.KV("lo", obs::HistogramBucketLo(i));
+      w.KV("hi", obs::HistogramBucketHi(i));
+      w.KV("count", h.buckets[static_cast<std::size_t>(i)]);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+}
+
+/// The graph-lifetime facts shared by every query of a run, as JSON keys on
+/// the currently open object.
+void WriteGraphHeaderJson(obs::JsonWriter& w, const Options& opt,
+                          const graph::EmGraph& g, const char* backend_name) {
+  w.KV("graph", opt.graph);
+  w.KV("backend", backend_name);
+  w.KV("edges", static_cast<std::uint64_t>(g.num_edges()));
+  w.KV("vertices", g.num_vertices);
+  w.KV("memory_words", static_cast<std::uint64_t>(opt.memory_words));
+  w.KV("block_words", static_cast<std::uint64_t>(opt.block_words));
+  w.KV("prefetch_depth", static_cast<std::uint64_t>(opt.prefetch_depth));
+}
+
+struct MetricsEntry {
+  std::string kind;
+  std::string algo;
+  const query::QueryResult* r;
+};
+
+/// --metrics-json: the full structured report (build info, graph header,
+/// one entry per query) written to `path`.
+void WriteMetricsFile(const std::string& path, const Options& opt,
+                      const graph::EmGraph& g, const char* backend_name,
+                      const std::vector<MetricsEntry>& entries) {
+  std::ofstream os(path);
+  if (!os) Die("cannot open --metrics-json file '" + path + "'");
+  obs::JsonWriter w(os);
+  w.BeginObject();
+  WriteBuildInfoJson(w);
+  WriteGraphHeaderJson(w, opt, g, backend_name);
+  w.Key("queries").BeginArray();
+  for (const MetricsEntry& e : entries) {
+    w.BeginObject();
+    w.KV("kind", e.kind);
+    w.KV("algorithm", e.algo);
+    WriteResultJson(w, *e.r, g.num_edges(), opt.memory_words, opt.block_words);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  os << "\n";
+  if (!os) Die("failed writing --metrics-json file '" + path + "'");
+  std::fprintf(stderr, "[metrics] wrote %s\n", path.c_str());
+}
+
+/// --trace: the collector's Chrome trace-event timeline written to `path`.
+void WriteTraceFile(const std::string& path, const obs::TraceCollector& tc) {
+  std::ofstream os(path);
+  if (!os) Die("cannot open --trace file '" + path + "'");
+  tc.WriteChromeJson(os);
+  if (!os) Die("failed writing --trace file '" + path + "'");
+  std::fprintf(stderr, "[trace] wrote %s\n", path.c_str());
+}
+
+int CmdVersion(bool json) {
+  const obs::BuildInfo& b = obs::GetBuildInfo();
+  if (json) {
+    obs::JsonWriter w(std::cout);
+    w.BeginObject();
+    WriteBuildInfoJson(w);
+    w.EndObject();
+    std::cout << "\n";
+    return 0;
+  }
+  std::printf("compiler = %s\n", b.compiler.c_str());
+  std::printf("build_type = %s\n", b.build_type.c_str());
+  std::printf("flags = %s\n", b.flags.c_str());
+  std::printf("native = %d\n", b.native ? 1 : 0);
+  std::printf("cplusplus = %ld\n", b.cplusplus);
+  std::printf("kernels_compiled = scalar,swar%s\n",
+              simd::Avx2Compiled() ? ",avx2" : "");
+  std::printf("avx2_runtime = %d\n", simd::Avx2Available() ? 1 : 0);
+  std::printf("kernels_active = %s\n",
+              simd::KernelVariantName(simd::ActiveVariant()));
+  return 0;
 }
 
 /// The query's payload lines (before the measurement block): triangles for
@@ -558,6 +793,10 @@ int CmdRun(const Options& opt, bool enumerate) {
   if (!is_reference && core::FindAlgorithm(opt.algo) == nullptr) {
     Die("unknown algorithm '" + opt.algo + "' (see `trienum list`)");
   }
+  if (is_reference && (!opt.trace_file.empty() || !opt.metrics_json.empty())) {
+    Die("--trace/--metrics-json need an EM algorithm run; --algo=reference "
+        "is host-memory only");
+  }
 
   std::fprintf(stderr, "[graph] building '%s'\n", opt.graph.c_str());
   std::vector<graph::Edge> raw = MakeGraph(opt);
@@ -567,13 +806,51 @@ int CmdRun(const Options& opt, bool enumerate) {
     std::fprintf(stderr, "[run] host reference (compact-forward)\n");
     if (enumerate) {
       std::vector<graph::Triangle> tris = core::ListTrianglesHost(raw);
-      PrintTriangles(tris, opt.limit);
-      std::printf("triangles = %zu\n", tris.size());
+      if (opt.report_json) {
+        obs::JsonWriter w(std::cout);
+        w.BeginObject();
+        w.KV("command", "enumerate");
+        w.KV("algorithm", "reference");
+        w.KV("triangles", static_cast<std::uint64_t>(tris.size()));
+        w.Key("list").BeginArray();
+        for (std::size_t i = 0; i < tris.size() && i < opt.limit; ++i) {
+          w.BeginArray();
+          w.Value(tris[i].a).Value(tris[i].b).Value(tris[i].c);
+          w.EndArray();
+        }
+        w.EndArray();
+        w.EndObject();
+        std::cout << "\n";
+      } else {
+        PrintTriangles(tris, opt.limit);
+        std::printf("triangles = %zu\n", tris.size());
+      }
     } else {
-      std::printf("triangles = %llu\n",
-                  static_cast<unsigned long long>(core::CountTrianglesHost(raw)));
+      const std::uint64_t n = core::CountTrianglesHost(raw);
+      if (opt.report_json) {
+        obs::JsonWriter w(std::cout);
+        w.BeginObject();
+        w.KV("command", "count");
+        w.KV("algorithm", "reference");
+        w.KV("triangles", n);
+        w.EndObject();
+        std::cout << "\n";
+      } else {
+        std::printf("triangles = %llu\n", static_cast<unsigned long long>(n));
+      }
     }
     return 0;
+  }
+
+  // Tracing / metrics: one collector for the whole run, installed before
+  // the load so `graph.load` lands on the timeline. Phase attribution and
+  // histogram windows in QueryResult key off an installed collector, so
+  // --metrics-json alone installs one too (and simply never writes the
+  // timeline file).
+  obs::TraceCollector collector;
+  std::optional<obs::ScopedTraceCollector> install;
+  if (!opt.trace_file.empty() || !opt.metrics_json.empty()) {
+    install.emplace(collector);
   }
 
   std::fprintf(stderr,
@@ -599,10 +876,39 @@ int CmdRun(const Options& opt, bool enumerate) {
   const query::QueryResult& r = *rr;
   std::fprintf(stderr, "[run] done in %.1f ms\n", r.wall_ms);
 
+  const char* backend_name = lg.store().device().backend().name();
+  const char* kind_name = enumerate ? "enumerate" : "count";
+  if (!opt.trace_file.empty()) WriteTraceFile(opt.trace_file, collector);
+  if (!opt.metrics_json.empty()) {
+    WriteMetricsFile(opt.metrics_json, opt, g, backend_name,
+                     {MetricsEntry{kind_name, opt.algo, &r}});
+  }
+
+  if (opt.report_json) {
+    obs::JsonWriter w(std::cout);
+    w.BeginObject();
+    w.KV("command", kind_name);
+    w.KV("algorithm", opt.algo);
+    WriteGraphHeaderJson(w, opt, g, backend_name);
+    WriteResultJson(w, r, g.num_edges(), opt.memory_words, opt.block_words);
+    if (enumerate) {
+      w.Key("list").BeginArray();
+      for (std::size_t i = 0; i < r.list.size() && i < opt.limit; ++i) {
+        w.BeginArray();
+        w.Value(r.list[i].a).Value(r.list[i].b).Value(r.list[i].c);
+        w.EndArray();
+      }
+      w.EndArray();
+    }
+    w.EndObject();
+    std::cout << "\n";
+    return 0;
+  }
+
   PrintPayload(q, r, opt.limit);
   std::printf("algorithm = %s\n", opt.algo.c_str());
   std::printf("graph = %s\n", opt.graph.c_str());
-  std::printf("backend = %s\n", lg.store().device().backend().name());
+  std::printf("backend = %s\n", backend_name);
   std::printf("edges = %zu\n", g.num_edges());
   std::printf("vertices = %u\n", g.num_vertices);
   std::printf("memory_words = %zu\n", opt.memory_words);
@@ -709,6 +1015,14 @@ int CmdQuery(const Options& opt) {
   // (possibly expensive) load, not after 39 answered queries.
   std::vector<ScriptQuery> script = LoadScript(opt.script, opt);
 
+  // One trace per script: the load plus every query on a single timeline,
+  // each query nested under its own wall-only "cli.query" span.
+  obs::TraceCollector collector;
+  std::optional<obs::ScopedTraceCollector> install;
+  if (!opt.trace_file.empty() || !opt.metrics_json.empty()) {
+    install.emplace(collector);
+  }
+
   std::fprintf(stderr, "[graph] building '%s'\n", opt.graph.c_str());
   std::vector<graph::Edge> raw = MakeGraph(opt);
   std::fprintf(stderr, "[graph] %zu raw edges\n", raw.size());
@@ -732,11 +1046,20 @@ int CmdQuery(const Options& opt) {
 
   static const char* kKindNames[] = {"count", "enumerate", "per-vertex",
                                      "per-edge"};
+  // Results outlive the loop when --metrics-json aggregates them at the end.
+  std::vector<query::QueryResult> results;
+  if (!opt.metrics_json.empty()) results.reserve(script.size());
   for (std::size_t i = 0; i < script.size(); ++i) {
     const ScriptQuery& sq = script[i];
     std::fprintf(stderr, "[query %zu] %s via %s\n", i + 1,
                  kKindNames[static_cast<int>(sq.q.kind)], sq.q.algo.c_str());
-    Result<query::QueryResult> rr = lg.Run(sq.q);
+    Result<query::QueryResult> rr = [&] {
+      // Wall-only outer span (the sampler installs inside RunQuery, after
+      // this opens): groups one query's phase spans on the timeline.
+      obs::Span span("cli.query");
+      span.AddArg("index", i + 1);
+      return lg.Run(sq.q);
+    }();
     if (!rr.ok()) Die(rr.status().ToString());
     const query::QueryResult& r = *rr;
     std::printf("\nquery = %zu\n", i + 1);
@@ -744,6 +1067,19 @@ int CmdQuery(const Options& opt) {
     std::printf("algorithm = %s\n", sq.q.algo.c_str());
     PrintPayload(sq.q, r, sq.limit);
     PrintMeasurements(r, g.num_edges(), opt.memory_words, opt.block_words);
+    if (!opt.metrics_json.empty()) results.push_back(*std::move(rr));
+  }
+
+  if (!opt.trace_file.empty()) WriteTraceFile(opt.trace_file, collector);
+  if (!opt.metrics_json.empty()) {
+    std::vector<MetricsEntry> entries;
+    entries.reserve(results.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      entries.push_back(MetricsEntry{kKindNames[static_cast<int>(script[i].q.kind)],
+                                     script[i].q.algo, &results[i]});
+    }
+    WriteMetricsFile(opt.metrics_json, opt, g,
+                     lg.store().device().backend().name(), entries);
   }
   return 0;
 }
@@ -763,6 +1099,15 @@ int main(int argc, char** argv) {
   if (cmd == "list") {
     if (argc > 2) Die("`trienum list` takes no options");
     return CmdList();
+  }
+  if (cmd == "version") {
+    bool json = false;
+    if (argc == 3 && std::string(argv[2]) == "--report=json") {
+      json = true;
+    } else if (argc > 2) {
+      Die("`trienum version` takes at most --report=json");
+    }
+    return CmdVersion(json);
   }
   if (cmd == "count") return CmdRun(ParseOptions(argc, argv), /*enumerate=*/false);
   if (cmd == "enumerate") return CmdRun(ParseOptions(argc, argv), /*enumerate=*/true);
